@@ -1,0 +1,149 @@
+//! Criterion benches for the machinery itself: routing, proxy search,
+//! aggregator selection, fair-share computation and end-to-end
+//! simulation. These guard the costs the paper argues are negligible
+//! ("the overhead for searching for proxies is negligible", §IV.C;
+//! aggregator placement "computed once at the beginning", §IV.D).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bgq_comm::{Machine, Program};
+use bgq_netsim::{FlowDemand, ResourceId, SimConfig, Waterfill};
+use bgq_torus::{route, standard_shape, IoLayout, NodeId, Zone};
+use sdm_core::{
+    assign_data, find_proxies, find_proxy_groups, plan_direct, plan_via_proxies,
+    AggregatorTable, AssignPolicy, MultipathOptions, ProxySearchConfig,
+};
+use std::collections::HashSet;
+
+fn bench_routing(c: &mut Criterion) {
+    let shape = standard_shape(8192).unwrap();
+    c.bench_function("route/8192-node partition, corner to corner", |b| {
+        b.iter(|| {
+            route(
+                &shape,
+                black_box(NodeId(0)),
+                black_box(NodeId(shape.num_nodes() - 1)),
+                Zone::Z2,
+            )
+        })
+    });
+}
+
+fn bench_proxy_search(c: &mut Criterion) {
+    let shape = standard_shape(512).unwrap();
+    let cfg = ProxySearchConfig::default();
+    c.bench_function("proxy_search/pair in 512 nodes", |b| {
+        b.iter(|| {
+            find_proxies(
+                &shape,
+                Zone::Z2,
+                black_box(NodeId(0)),
+                black_box(NodeId(511)),
+                &HashSet::new(),
+                &cfg,
+            )
+        })
+    });
+
+    let sources: Vec<NodeId> = (0..32).map(NodeId).collect();
+    let dests: Vec<NodeId> = (480..512).map(NodeId).collect();
+    c.bench_function("proxy_search/groups of 32 in 512 nodes", |b| {
+        b.iter(|| find_proxy_groups(&shape, Zone::Z2, &sources, &dests, &cfg))
+    });
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    let layout = IoLayout::new(standard_shape(8192).unwrap());
+    c.bench_function("aggregator_table/precompute 8192 nodes", |b| {
+        b.iter(|| AggregatorTable::precompute(black_box(&layout)))
+    });
+
+    let table = AggregatorTable::precompute(&layout);
+    let aggs = table.aggregators(16);
+    let data: Vec<(NodeId, u64)> = (0..8192).map(|i| (NodeId(i), (i as u64 % 64) << 20)).collect();
+    c.bench_function("assign_data/balanced greedy, 8192 nodes", |b| {
+        b.iter(|| {
+            assign_data(
+                black_box(&data),
+                aggs,
+                &layout,
+                64 << 20,
+                AssignPolicy::BalancedGreedy,
+            )
+        })
+    });
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    // 1,000 flows over 2,000 resources, routes of 8, heavy sharing.
+    let nres = 2000usize;
+    let routes: Vec<Vec<ResourceId>> = (0..1000)
+        .map(|i| {
+            (0..8)
+                .map(|h| ResourceId(((i * 37 + h * 211) % nres) as u32))
+                .collect()
+        })
+        .collect();
+    let demands: Vec<FlowDemand> = routes
+        .iter()
+        .map(|r| FlowDemand {
+            route: r,
+            cap: 1.6e9,
+        })
+        .collect();
+    let caps = vec![1.8e9; nres];
+    c.bench_function("waterfill/1000 flows, 2000 links", |b| {
+        let mut wf = Waterfill::new(nres);
+        let mut rates = Vec::new();
+        b.iter(|| {
+            wf.compute(black_box(&demands), &caps, &mut rates);
+            rates.len()
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+    let proxies = find_proxies(
+        machine.shape(),
+        Zone::Z2,
+        NodeId(0),
+        NodeId(127),
+        &HashSet::new(),
+        &ProxySearchConfig::default(),
+    )
+    .proxies();
+
+    c.bench_function("sim/direct put 8MB (128-node partition)", |b| {
+        b.iter(|| {
+            let mut p = Program::new(&machine);
+            let h = plan_direct(&mut p, NodeId(0), NodeId(127), 8 << 20);
+            h.completed_at(&p.run())
+        })
+    });
+
+    c.bench_function("sim/4-proxy multipath put 8MB", |b| {
+        b.iter(|| {
+            let mut p = Program::new(&machine);
+            let h = plan_via_proxies(
+                &mut p,
+                NodeId(0),
+                NodeId(127),
+                8 << 20,
+                &proxies,
+                &MultipathOptions::default(),
+            );
+            h.completed_at(&p.run())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_proxy_search,
+    bench_aggregators,
+    bench_waterfill,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! One weak-scaling point of Figure 10 or 11, printed as a single CSV
+//! row — lets long sweeps run resumably / incrementally:
+//!
+//! ```text
+//! fig10_point <cores> <uniform|pareto|hacc>
+//! ```
+//!
+//! Uses the same seeds as the `fig10`/`fig11` binaries, so rows compose
+//! into the same tables.
+
+use bgq_bench::{fig10_point, fig11_point, Pattern};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cores, pattern) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (
+            c.parse::<u32>().unwrap_or_else(|_| {
+                eprintln!("bad core count {c:?}");
+                std::process::exit(2);
+            }),
+            p.clone(),
+        ),
+        _ => {
+            eprintln!("usage: fig10_point <cores> <uniform|pareto|hacc>");
+            std::process::exit(2);
+        }
+    };
+    let p = match pattern.as_str() {
+        "uniform" => fig10_point(cores, Pattern::Uniform, 20140900 + cores as u64),
+        "pareto" => fig10_point(cores, Pattern::Pareto, 20140900 + cores as u64),
+        "hacc" => fig11_point(cores),
+        other => {
+            eprintln!("unknown pattern {other:?}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{},{},{:.1},{:.3},{:.3},{:.2}x",
+        cores,
+        pattern,
+        p.total_bytes as f64 / 1e9,
+        p.ours / 1e9,
+        p.baseline / 1e9,
+        p.ours / p.baseline
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 7: performance variance with the number of proxy groups —
+//! two groups of 32 nodes in the 512-node `4x4x4x4x2` partition.
+//!
+//! Paper's result: going from 2 to 3 to 4 proxy groups raises the large-
+//! message speedup from ~1x to 1.5x to 2x; adding a fifth path (the
+//! source itself, i.e. the direct route) makes concurrent movements
+//! interfere and throughput drops.
+//!
+//! Reproduction note: under fully deterministic zone-2 routing this
+//! corner-to-corner geometry admits at most 3 pairwise link-disjoint
+//! single-proxy paths per pair (the search proves it), so our 4-group
+//! series shares one link between two of its paths and lands below the
+//! ideal 2x — the qualitative ordering (2 < 3 ≤ 4, 5 drops) is preserved.
+
+use bgq_bench::{fig7_sweep, fmt_bytes, fmt_gbs, Cli, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes = cli.sizes();
+    let (baseline, series) = fig7_sweep(&sizes);
+
+    println!(
+        "Figure 7: PUT throughput vs number of proxy groups (2 groups of 32 nodes, 4x4x4x4x2)"
+    );
+    let mut header: Vec<String> = vec!["size".into(), "no proxies".into()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let mut row = vec![fmt_bytes(bytes), fmt_gbs(baseline[i])];
+        row.extend(series.iter().map(|s| fmt_gbs(s.throughput[i])));
+        t.row(row);
+    }
+    cli.emit(&t);
+
+    let last = sizes.len() - 1;
+    println!("\nlarge-message speedups over no-proxy baseline:");
+    for s in &series {
+        println!(
+            "  {:<22} {:.2}x",
+            s.label,
+            s.throughput[last] / baseline[last]
+        );
+    }
+    println!("  [paper: 2 groups ~1x, 3 groups ~1.5x, 4 groups ~2x, 5 groups degrade]");
+}

@@ -1,0 +1,115 @@
+//! One-command reproduction: runs every figure harness and writes the
+//! outputs under `results/`. The weak-scaling figures honour
+//! `--max-cores` (default 131,072 — hours of simulation; use
+//! `--max-cores 16384` for a coffee-break run).
+//!
+//! `cargo run --release -p bgq-bench --bin reproduce -- --max-cores 16384`
+
+use bgq_bench::*;
+use std::fs;
+use std::io::Write as _;
+
+fn write_out(name: &str, contents: &str) {
+    fs::create_dir_all("results").expect("create results/");
+    let path = format!("results/{name}");
+    let mut f = fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    f.write_all(contents.as_bytes()).expect("write results");
+    println!("wrote {path}");
+}
+
+fn sweep_table(points: &[SweepPoint], multipath_label: &str) -> Table {
+    let mut t = Table::new(&["size", "direct GB/s", multipath_label, "speedup"]);
+    for p in points {
+        t.row(vec![
+            fmt_bytes(p.bytes),
+            fmt_gbs(p.direct),
+            fmt_gbs(p.multipath),
+            format!("{:.2}", p.multipath / p.direct),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes = cli.sizes();
+
+    eprintln!("fig5...");
+    let points = fig5_sweep(&sizes);
+    let mut out = sweep_table(&points, "4 proxies GB/s").render();
+    if let Some((b, thr)) = crossover(&points) {
+        out.push_str(&format!(
+            "\ncrossover: ({}, {} GB/s) [paper: (256K, 1.4)]\n",
+            fmt_bytes(b),
+            fmt_gbs(thr)
+        ));
+    }
+    write_out("fig5.txt", &out);
+
+    eprintln!("fig6...");
+    let points = fig6_sweep(&sizes);
+    let mut out = sweep_table(&points, "3 proxy groups GB/s").render();
+    if let Some((b, thr)) = crossover(&points) {
+        out.push_str(&format!(
+            "\ncrossover: ({}, {} GB/s) [paper: (512K, 1.58)]\n",
+            fmt_bytes(b),
+            fmt_gbs(thr)
+        ));
+    }
+    write_out("fig6.txt", &out);
+
+    eprintln!("fig7...");
+    let (baseline, series) = fig7_sweep(&sizes);
+    let mut header: Vec<String> = vec!["size".into(), "no proxies".into()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let mut row = vec![fmt_bytes(bytes), fmt_gbs(baseline[i])];
+        row.extend(series.iter().map(|s| fmt_gbs(s.throughput[i])));
+        t.row(row);
+    }
+    write_out("fig7.txt", &t.render());
+
+    eprintln!("fig10 (up to {} cores)...", cli.max_cores);
+    let mut t = Table::new(&["cores", "pattern", "data GB", "ours GB/s", "baseline GB/s", "improvement"]);
+    for pattern in [Pattern::Uniform, Pattern::Pareto] {
+        for &cores in &fig10_scales(cli.max_cores) {
+            let p = fig10_point(cores, pattern, 20140900 + cores as u64);
+            t.row(vec![
+                cores.to_string(),
+                pattern.label().to_string(),
+                format!("{:.1}", p.total_bytes as f64 / 1e9),
+                fmt_gbs(p.ours),
+                fmt_gbs(p.baseline),
+                format!("{:.2}x", p.ours / p.baseline),
+            ]);
+            eprintln!("  {} {} done", pattern.label(), cores);
+        }
+    }
+    write_out("fig10.csv", &t.to_csv());
+
+    eprintln!("fig11 (up to {} cores)...", cli.max_cores);
+    let mut t = Table::new(&["cores", "data GB", "ours GB/s", "baseline GB/s", "improvement"]);
+    for &cores in &fig11_scales(cli.max_cores) {
+        let p = fig11_point(cores);
+        t.row(vec![
+            cores.to_string(),
+            format!("{:.1}", p.total_bytes as f64 / 1e9),
+            fmt_gbs(p.ours),
+            fmt_gbs(p.baseline),
+            format!("{:.2}x", p.ours / p.baseline),
+        ]);
+        eprintln!("  {cores} done");
+    }
+    write_out("fig11.csv", &t.to_csv());
+
+    println!(
+        "\nremaining harnesses (each prints to stdout):\n  \
+         cargo run --release -p bgq-bench --bin fig8_9\n  \
+         cargo run --release -p bgq-bench --bin thresholds\n  \
+         cargo run --release -p bgq-bench --bin utilization\n  \
+         cargo run --release -p bgq-bench --bin diversity\n  \
+         cargo run --release -p bgq-bench --bin storage"
+    );
+}

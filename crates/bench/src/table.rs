@@ -1,0 +1,135 @@
+//! Plain-text table/CSV output for the figure harnesses.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table that can also dump CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}", c, w = widths[i]);
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a byte count the way the paper's x-axes do (1K, 512K, 2M, …).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 && b % (1 << 20) == 0 {
+        format!("{}M", b >> 20)
+    } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+        format!("{}K", b >> 10)
+    } else {
+        format!("{b}")
+    }
+}
+
+/// Format a throughput in GB/s with 3 decimals.
+pub fn fmt_gbs(bytes_per_sec: f64) -> String {
+    format!("{:.3}", bytes_per_sec / 1e9)
+}
+
+/// The doubling message-size sweep used by Figures 5–7: 1 KB to 128 MB.
+pub fn paper_size_sweep() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut b = 1u64 << 10;
+    while b <= 128 << 20 {
+        v.push(b);
+        b *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_axis() {
+        let s = paper_size_sweep();
+        assert_eq!(s.first(), Some(&1024));
+        assert_eq!(s.last(), Some(&(128 << 20)));
+        assert_eq!(s.len(), 18); // 1K..128M doubling
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(1024), "1K");
+        assert_eq!(fmt_bytes(512 << 10), "512K");
+        assert_eq!(fmt_bytes(128 << 20), "128M");
+        assert_eq!(fmt_bytes(1000), "1000");
+    }
+
+    #[test]
+    fn table_renders_and_csvs() {
+        let mut t = Table::new(&["size", "GB/s"]);
+        t.row(vec!["1K".into(), "0.5".into()]);
+        let r = t.render();
+        assert!(r.contains("size"));
+        assert!(r.contains("1K"));
+        assert_eq!(t.to_csv(), "size,GB/s\n1K,0.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn bad_row_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Program builder: an MPI-like one-sided API over the transfer graph.
+//!
+//! A [`Program`] accumulates RDMA puts, I/O-link forwards and
+//! synchronization edges against a [`Machine`], then executes them on the
+//! simulator. Dependencies between transfers express completion semantics
+//! (`MPI_Win` epochs, store-and-forward hand-offs) explicitly.
+
+use crate::machine::Machine;
+use bgq_netsim::{SimReport, TransferGraph, TransferId, TransferSpec};
+use bgq_torus::NodeId;
+
+/// Handle to one logical (possibly multi-transfer) operation: the delivery
+/// tokens whose completion means every byte has arrived, plus the logical
+/// byte count for throughput accounting.
+#[derive(Debug, Clone)]
+pub struct TransferHandle {
+    pub tokens: Vec<TransferId>,
+    pub bytes: u64,
+}
+
+impl TransferHandle {
+    /// Completion time of the logical operation in a report.
+    pub fn completed_at(&self, report: &SimReport) -> f64 {
+        report.last_delivery(&self.tokens)
+    }
+
+    /// Achieved throughput (bytes over completion time, program start at 0).
+    pub fn throughput(&self, report: &SimReport) -> f64 {
+        let t = self.completed_at(report);
+        if t > 0.0 {
+            self.bytes as f64 / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A communication program under construction.
+#[derive(Debug)]
+pub struct Program<'m> {
+    machine: &'m Machine,
+    graph: TransferGraph,
+}
+
+impl<'m> Program<'m> {
+    pub fn new(machine: &'m Machine) -> Program<'m> {
+        Program {
+            machine,
+            graph: TransferGraph::new(),
+        }
+    }
+
+    pub fn machine(&self) -> &'m Machine {
+        self.machine
+    }
+
+    pub fn graph(&self) -> &TransferGraph {
+        &self.graph
+    }
+
+    pub fn into_graph(self) -> TransferGraph {
+        self.graph
+    }
+
+    /// Number of transfers added so far.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// One-sided put from `src` to `dst` over the deterministic torus route.
+    pub fn put(&mut self, src: NodeId, dst: NodeId, bytes: u64) -> TransferId {
+        self.put_after(src, dst, bytes, Vec::new(), 0.0)
+    }
+
+    /// Put that starts only after `deps` are delivered, plus `delay`
+    /// seconds of software overhead.
+    pub fn put_after(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        deps: Vec<TransferId>,
+        delay: f64,
+    ) -> TransferId {
+        let route = self.machine.route_resources(src, dst);
+        self.graph.add(
+            TransferSpec::new(src.0, dst.0, bytes, route)
+                .after(deps)
+                .with_delay(delay),
+        )
+    }
+
+    /// Put tagged for later correlation in reports.
+    pub fn put_tagged(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+    ) -> TransferId {
+        let route = self.machine.route_resources(src, dst);
+        self.graph
+            .add(TransferSpec::new(src.0, dst.0, bytes, route).with_tag(tag))
+    }
+
+    /// Add a raw transfer spec (escape hatch for custom routes).
+    pub fn add_spec(&mut self, spec: TransferSpec) -> TransferId {
+        self.graph.add(spec)
+    }
+
+    /// Forward `bytes` from a bridge node to its I/O node over the
+    /// eleventh link.
+    ///
+    /// # Panics
+    /// Panics if `bridge` is not a bridge node.
+    pub fn ion_forward(
+        &mut self,
+        bridge: NodeId,
+        bytes: u64,
+        deps: Vec<TransferId>,
+        delay: f64,
+    ) -> TransferId {
+        let io = self.machine.io_layout();
+        let ion = io.default_ion(bridge);
+        let res = self.machine.io_resource(bridge);
+        let cap = self.machine.config().io_link_bandwidth;
+        self.graph.add(
+            TransferSpec::new(bridge.0, self.machine.ion_sim_node(ion), bytes, vec![res])
+                .after(deps)
+                .with_delay(delay)
+                // The eleventh link is a dedicated point-to-point channel:
+                // a single forward can use its full bandwidth.
+                .with_rate_cap(cap),
+        )
+    }
+
+    /// Write `bytes` from a compute node to its default I/O node along the
+    /// default path: torus hop(s) to the node's default bridge, then the
+    /// eleventh link, store-and-forward at the bridge.
+    ///
+    /// Returns the ION-side delivery token.
+    pub fn write_default(
+        &mut self,
+        node: NodeId,
+        bytes: u64,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        let io = self.machine.io_layout();
+        let bridge = io.default_bridge(node);
+        let fwd = self.machine.config().forward_overhead;
+        if bridge == node {
+            self.ion_forward(node, bytes, deps, 0.0)
+        } else {
+            let to_bridge = self.put_after(node, bridge, bytes, deps, 0.0);
+            self.ion_forward(bridge, bytes, vec![to_bridge], fwd)
+        }
+    }
+
+    /// Fetch `bytes` from an I/O node down to a bridge node over the
+    /// inbound direction of the eleventh link (collective reads /
+    /// restart).
+    ///
+    /// # Panics
+    /// Panics if `bridge` is not a bridge node.
+    pub fn ion_read(
+        &mut self,
+        bridge: NodeId,
+        bytes: u64,
+        deps: Vec<TransferId>,
+        delay: f64,
+    ) -> TransferId {
+        let io = self.machine.io_layout();
+        let ion = io.default_ion(bridge);
+        let res = self.machine.io_in_resource(bridge);
+        let cap = self.machine.config().io_link_bandwidth;
+        self.graph.add(
+            TransferSpec::new(self.machine.ion_sim_node(ion), bridge.0, bytes, vec![res])
+                .after(deps)
+                .with_delay(delay)
+                .with_rate_cap(cap),
+        )
+    }
+
+    /// Forward `bytes` from an I/O node to the file servers, over the
+    /// ION's InfiniBand link and the shared file-server ingest.
+    ///
+    /// # Panics
+    /// Panics if the machine has no filesystem attached.
+    pub fn fs_write(
+        &mut self,
+        ion: bgq_torus::IonId,
+        bytes: u64,
+        deps: Vec<TransferId>,
+        delay: f64,
+    ) -> TransferId {
+        let m = self.machine;
+        let route = vec![m.fs_ion_resource(ion), m.fs_aggregate_resource()];
+        let cap = m.fs().expect("no filesystem attached").per_ion_bandwidth;
+        self.graph.add(
+            TransferSpec::new(m.ion_sim_node(ion), m.fs_sim_node(), bytes, route)
+                .after(deps)
+                .with_delay(delay)
+                .with_rate_cap(cap),
+        )
+    }
+
+    /// A pure synchronization point on `node`: delivered `cost` seconds
+    /// after `deps` complete. Used to model collective operations whose
+    /// full message schedule is not worth simulating (cost from
+    /// [`crate::collectives::CollectiveModel`]).
+    pub fn modeled_sync(
+        &mut self,
+        node: NodeId,
+        cost: f64,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        self.graph.add(
+            TransferSpec::new(node.0, node.0, 0, Vec::new())
+                .after(deps)
+                .with_delay(cost),
+        )
+    }
+
+    /// Execute the program on a fresh simulator.
+    pub fn run(&self) -> SimReport {
+        self.machine.simulator().run(&self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_netsim::SimConfig;
+    use bgq_torus::{standard_shape, Shape};
+
+    fn machine() -> Machine {
+        Machine::new(standard_shape(128).unwrap(), SimConfig::default())
+    }
+
+    #[test]
+    fn put_creates_routed_transfer() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let t = p.put(NodeId(0), NodeId(127), 1 << 20);
+        let spec = &p.graph().specs()[t.index()];
+        assert_eq!(spec.src, 0);
+        assert_eq!(spec.dst, 127);
+        assert!(!spec.route.is_empty());
+        let rep = p.run();
+        assert!(rep.delivered_at(t) > 0.0);
+    }
+
+    #[test]
+    fn put_throughput_plateaus_at_per_flow_cap() {
+        // A very large direct put should approach the 1.6 GB/s protocol cap
+        // (paper Fig. 5, "without proxies" plateau).
+        let m = machine();
+        let mut p = Program::new(&m);
+        let bytes = 128u64 << 20;
+        let t = p.put(NodeId(0), NodeId(127), bytes);
+        let rep = p.run();
+        let thr = bytes as f64 / rep.delivered_at(t);
+        assert!(
+            (1.55e9..=1.6e9).contains(&thr),
+            "direct put throughput {:.3} GB/s not at cap",
+            thr / 1e9
+        );
+    }
+
+    #[test]
+    fn write_default_reaches_the_ion() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let t = p.write_default(NodeId(5), 1 << 20, Vec::new());
+        let spec = &p.graph().specs()[t.index()];
+        // Final leg lands on the ION's simulator node.
+        assert_eq!(spec.dst, m.ion_sim_node(bgq_torus::IonId(0)));
+        let rep = p.run();
+        assert!(rep.delivered_at(t) > 0.0);
+    }
+
+    #[test]
+    fn write_default_from_bridge_skips_torus() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let bridge = m.io_layout().bridges_of_pset(bgq_torus::PsetId(0))[0];
+        let t = p.write_default(bridge, 1 << 20, Vec::new());
+        assert_eq!(p.len(), 1, "bridge writes need no torus leg");
+        let spec = &p.graph().specs()[t.index()];
+        assert_eq!(spec.route.len(), 1);
+    }
+
+    #[test]
+    fn io_write_throughput_bounded_by_io_link() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let bytes = 64u64 << 20;
+        let bridge = m.io_layout().bridges_of_pset(bgq_torus::PsetId(0))[0];
+        let t = p.ion_forward(bridge, bytes, Vec::new(), 0.0);
+        let rep = p.run();
+        let thr = bytes as f64 / rep.delivered_at(t);
+        assert!(thr <= 2.0e9 * 1.001, "io link overdriven: {thr}");
+        assert!(thr >= 1.9e9, "io link underdriven: {thr}");
+    }
+
+    #[test]
+    fn modeled_sync_adds_cost() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let a = p.put(NodeId(0), NodeId(1), 1024);
+        let s = p.modeled_sync(NodeId(0), 0.5, vec![a]);
+        let rep = p.run();
+        assert!(rep.delivered_at(s) >= rep.delivered_at(a) + 0.5);
+    }
+
+    #[test]
+    fn non_pset_partition_supports_compute_traffic() {
+        let m = Machine::new(Shape::new(2, 2, 2, 2, 2), SimConfig::default());
+        let mut p = Program::new(&m);
+        let t = p.put(NodeId(0), NodeId(31), 4096);
+        let rep = p.run();
+        assert!(rep.delivered_at(t) > 0.0);
+    }
+}

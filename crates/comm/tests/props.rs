@@ -1,0 +1,116 @@
+//! Property tests for the communication layer: collective schedules obey
+//! their algebraic invariants for arbitrary participant counts.
+
+use bgq_comm::*;
+use bgq_netsim::SimConfig;
+use bgq_torus::{standard_shape, NodeId};
+use proptest::prelude::*;
+
+fn machine() -> Machine {
+    Machine::new(standard_shape(128).unwrap(), SimConfig::default())
+}
+
+fn nodes(k: usize) -> Vec<NodeId> {
+    (0..k as u32).map(NodeId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn barrier_exits_never_precede_any_entry(k in 2usize..24) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let ns = nodes(k);
+        // Stagger entries with per-node head-start work of varying size.
+        let mut entry = Vec::new();
+        let mut entry_tokens = Vec::new();
+        for (i, &n) in ns.iter().enumerate() {
+            let t = p.put(n, NodeId((n.0 + 1) % 128), (i as u64 + 1) * 100_000);
+            entry.push(vec![t]);
+            entry_tokens.push(t);
+        }
+        let exits = dissemination_barrier(&mut p, &ns, &entry);
+        let rep = p.run();
+        let latest_entry = entry_tokens
+            .iter()
+            .map(|t| rep.delivered_at(*t))
+            .fold(0.0f64, f64::max);
+        for e in &exits {
+            prop_assert!(
+                rep.delivered_at(*e) >= latest_entry,
+                "a barrier exit fired before the slowest entry"
+            );
+        }
+    }
+
+    #[test]
+    fn bcast_respects_tree_order(k in 1usize..24, bytes in 1u64..1_000_000) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let ns = nodes(k);
+        let tokens = binomial_bcast(&mut p, &ns, bytes, Vec::new());
+        let rep = p.run();
+        let t_root = rep.delivered_at(tokens[0]);
+        for t in &tokens[1..] {
+            prop_assert!(rep.delivered_at(*t) >= t_root);
+        }
+        // Volume: every non-root receives the payload exactly once.
+        prop_assert_eq!(p.graph().total_bytes(), bytes * (k as u64 - 1).max(0));
+    }
+
+    #[test]
+    fn reduce_volume_is_n_minus_1_blocks(k in 1usize..24, bytes in 1u64..500_000) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let ns = nodes(k);
+        let entry = vec![Vec::new(); k];
+        let done = binomial_reduce(&mut p, &ns, bytes, &entry);
+        prop_assert_eq!(p.graph().total_bytes(), bytes * (k as u64 - 1).max(0));
+        let rep = p.run();
+        prop_assert!(rep.delivered_at(done).is_finite());
+    }
+
+    #[test]
+    fn allgather_everyone_finishes_after_every_contribution(k in 2usize..12) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let ns = nodes(k);
+        let entry = vec![Vec::new(); k];
+        let tokens = ring_allgather(&mut p, &ns, 10_000, &entry);
+        let rep = p.run();
+        // Everyone needs n-1 rounds; nobody can finish before the ring
+        // has propagated at least n-1 block transfers.
+        let earliest = tokens
+            .iter()
+            .map(|t| rep.delivered_at(*t))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(earliest > 0.0);
+        prop_assert_eq!(p.graph().total_bytes(), 10_000 * (k as u64) * (k as u64 - 1));
+    }
+
+    #[test]
+    fn alltoall_tokens_complete(k in 1usize..12, bytes in 1u64..100_000) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let tokens = pairwise_alltoall(&mut p, &nodes(k), bytes);
+        let rep = p.run();
+        for t in &tokens {
+            prop_assert!(rep.delivered_at(*t).is_finite());
+        }
+        prop_assert_eq!(
+            p.graph().total_bytes(),
+            bytes * (k as u64) * (k as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn collective_model_is_monotone(n1 in 2u32..1000, n2 in 2u32..1000, bytes in 0u64..10_000_000) {
+        let m = machine();
+        let cm = CollectiveModel::new(&m);
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(cm.barrier(hi) >= cm.barrier(lo));
+        prop_assert!(cm.allreduce(hi, bytes) >= cm.allreduce(lo, bytes));
+        prop_assert!(cm.bcast(lo, bytes + 1) >= cm.bcast(lo, bytes));
+    }
+}

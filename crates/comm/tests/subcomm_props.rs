@@ -1,0 +1,50 @@
+//! Property tests for sub-communicators.
+
+use bgq_comm::SubComm;
+use bgq_torus::NodeId;
+use proptest::prelude::*;
+
+fn distinct_nodes() -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::btree_set(0u32..512, 1..64)
+        .prop_map(|s| s.into_iter().map(NodeId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn local_ranks_are_a_bijection(nodes in distinct_nodes()) {
+        let c = SubComm::new(nodes.clone());
+        prop_assert_eq!(c.size() as usize, nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            prop_assert_eq!(c.local_rank(n), Some(i as u32));
+            prop_assert_eq!(c.member(i as u32), n);
+        }
+        prop_assert_eq!(c.root(), nodes[0]);
+    }
+
+    #[test]
+    fn split_partitions_exactly(nodes in distinct_nodes(), k in 1u32..8) {
+        let comms = SubComm::split(&nodes, |n| n.0 % k);
+        // Every node appears in exactly one communicator.
+        let total: usize = comms.iter().map(|c| c.size() as usize).sum();
+        prop_assert_eq!(total, nodes.len());
+        for c in &comms {
+            for &m in c.members() {
+                prop_assert!(nodes.contains(&m));
+            }
+        }
+        // Colors are homogeneous within each communicator.
+        for c in &comms {
+            let color = c.root().0 % k;
+            prop_assert!(c.members().iter().all(|m| m.0 % k == color));
+        }
+    }
+
+    #[test]
+    fn split_by_constant_color_is_identity(nodes in distinct_nodes()) {
+        let comms = SubComm::split(&nodes, |_| 7);
+        prop_assert_eq!(comms.len(), 1);
+        prop_assert_eq!(comms[0].members(), &nodes[..]);
+    }
+}

@@ -1,0 +1,284 @@
+//! High-level facade: decide and plan sparse data movement.
+//!
+//! [`SparseMover`] bundles the cost model (when do proxies pay off?), the
+//! proxy search (where can they go?) and the aggregator machinery into the
+//! API an application would call: give it endpoints and sizes, get back an
+//! executable plan plus the decision it made.
+
+use crate::aggregator::AggregatorTable;
+use crate::io_move::{plan_topology_aware_write, IoMoveOptions, IoMovePlan};
+use crate::model::CostModel;
+use crate::multipath::{
+    plan_direct, plan_group_direct, plan_group_via, plan_via_proxies, MultipathOptions,
+    TransferHandle,
+};
+use crate::proxy::{find_proxies, find_proxy_groups, ProxySearchConfig};
+use bgq_comm::{Machine, Program};
+use bgq_torus::NodeId;
+use std::collections::HashSet;
+
+/// What the planner decided for a transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Single default path; the reason proxies were not used.
+    Direct(DirectReason),
+    /// Multipath through this many proxies (or proxy groups).
+    Multipath { paths: u32 },
+}
+
+/// Why a transfer went direct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectReason {
+    /// The message is below the proxy-benefit threshold (Eq. 5 regime).
+    BelowThreshold,
+    /// Fewer than the minimum useful proxies (3) could be placed.
+    NoDisjointPaths,
+}
+
+/// The sparse data movement planner for one machine.
+#[derive(Debug, Clone)]
+pub struct SparseMover<'m> {
+    machine: &'m Machine,
+    model: CostModel,
+    search: ProxySearchConfig,
+    multipath: MultipathOptions,
+    aggregators: Option<AggregatorTable>,
+}
+
+impl<'m> SparseMover<'m> {
+    /// Build a planner; precomputes the aggregator table when the machine
+    /// has an I/O layout (Algorithm 2's Init).
+    pub fn new(machine: &'m Machine) -> SparseMover<'m> {
+        let model = CostModel::from_sim_config(machine.config(), machine.mean_hops());
+        SparseMover {
+            machine,
+            model,
+            search: ProxySearchConfig::default(),
+            multipath: MultipathOptions::default(),
+            aggregators: machine.io().map(AggregatorTable::precompute),
+        }
+    }
+
+    /// Override the proxy search configuration.
+    pub fn with_search(mut self, search: ProxySearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Override multipath construction options (e.g. pipelined forwarding).
+    pub fn with_multipath(mut self, opts: MultipathOptions) -> Self {
+        self.multipath = opts;
+        self
+    }
+
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    pub fn machine(&self) -> &'m Machine {
+        self.machine
+    }
+
+    pub fn aggregator_table(&self) -> Option<&AggregatorTable> {
+        self.aggregators.as_ref()
+    }
+
+    /// Plan a point-to-point transfer, choosing direct vs. multipath by the
+    /// cost model and proxy availability (the paper's decision procedure in
+    /// §IV.B: "Calculate the message sizes to see if using intermediate
+    /// nodes benefits performance").
+    pub fn plan_transfer(
+        &self,
+        prog: &mut Program<'_>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (TransferHandle, Decision) {
+        let sel = find_proxies(
+            self.machine.shape(),
+            self.machine.zone(),
+            src,
+            dst,
+            &HashSet::new(),
+            &self.search,
+        );
+        if sel.is_empty() {
+            return (
+                plan_direct(prog, src, dst, bytes),
+                Decision::Direct(DirectReason::NoDisjointPaths),
+            );
+        }
+        let k = sel.len() as u32;
+        if !self.model.should_use_proxies(bytes, k) {
+            return (
+                plan_direct(prog, src, dst, bytes),
+                Decision::Direct(DirectReason::BelowThreshold),
+            );
+        }
+        let handle =
+            plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
+        (handle, Decision::Multipath { paths: k })
+    }
+
+    /// Plan a group-to-group coupling (`sources[i] → dests[i]`, `bytes`
+    /// each), choosing direct vs. proxy groups.
+    pub fn plan_group_coupling(
+        &self,
+        prog: &mut Program<'_>,
+        sources: &[NodeId],
+        dests: &[NodeId],
+        bytes: u64,
+    ) -> (TransferHandle, Decision) {
+        let groups = find_proxy_groups(
+            self.machine.shape(),
+            self.machine.zone(),
+            sources,
+            dests,
+            &self.search,
+        );
+        if groups.is_empty() {
+            return (
+                plan_group_direct(prog, sources, dests, bytes),
+                Decision::Direct(DirectReason::NoDisjointPaths),
+            );
+        }
+        let k = groups.len() as u32;
+        if !self.model.should_use_proxies(bytes, k) {
+            return (
+                plan_group_direct(prog, sources, dests, bytes),
+                Decision::Direct(DirectReason::BelowThreshold),
+            );
+        }
+        let handle =
+            plan_group_via(prog, sources, dests, bytes, &groups, false, &self.multipath);
+        (handle, Decision::Multipath { paths: k })
+    }
+
+    /// Plan a sparse collective write (Algorithm 2).
+    ///
+    /// # Panics
+    /// Panics if the machine has no I/O layout.
+    pub fn plan_sparse_write(
+        &self,
+        prog: &mut Program<'_>,
+        data: &[(NodeId, u64)],
+        opts: &IoMoveOptions,
+    ) -> IoMovePlan {
+        let table = self
+            .aggregators
+            .as_ref()
+            .expect("machine has no I/O layout");
+        plan_topology_aware_write(prog, table, data, opts)
+    }
+
+    /// Plan a sparse collective read (restart) — Algorithm 2 reversed.
+    ///
+    /// # Panics
+    /// Panics if the machine has no I/O layout.
+    pub fn plan_sparse_read(
+        &self,
+        prog: &mut Program<'_>,
+        data: &[(NodeId, u64)],
+        opts: &IoMoveOptions,
+    ) -> IoMovePlan {
+        let table = self
+            .aggregators
+            .as_ref()
+            .expect("machine has no I/O layout");
+        crate::io_move::plan_topology_aware_read(prog, table, data, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_netsim::SimConfig;
+    use bgq_torus::standard_shape;
+
+    fn machine() -> Machine {
+        Machine::new(standard_shape(128).unwrap(), SimConfig::default())
+    }
+
+    #[test]
+    fn small_transfers_go_direct() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let mut p = Program::new(&m);
+        let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(127), 4096);
+        assert_eq!(d, Decision::Direct(DirectReason::BelowThreshold));
+    }
+
+    #[test]
+    fn large_transfers_go_multipath() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let mut p = Program::new(&m);
+        let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(127), 32 << 20);
+        assert!(matches!(d, Decision::Multipath { paths } if paths >= 3), "{d:?}");
+    }
+
+    #[test]
+    fn planner_decision_actually_wins() {
+        // Whatever the planner picks for a large message must beat the
+        // alternative it rejected.
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let bytes = 64u64 << 20;
+
+        let mut p1 = Program::new(&m);
+        let (h1, d) = mover.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
+        assert!(matches!(d, Decision::Multipath { .. }));
+        let t_chosen = h1.completed_at(&p1.run());
+
+        let mut p2 = Program::new(&m);
+        let h2 = plan_direct(&mut p2, NodeId(0), NodeId(127), bytes);
+        let t_direct = h2.completed_at(&p2.run());
+        assert!(t_chosen < t_direct, "{t_chosen} !< {t_direct}");
+    }
+
+    #[test]
+    fn degenerate_topology_reports_no_disjoint_paths() {
+        let m = bgq_comm::Machine::new(bgq_torus::Shape::new(2, 1, 1, 1, 1), SimConfig::default());
+        let mover = SparseMover::new(&m);
+        let mut p = Program::new(&m);
+        let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(1), 128 << 20);
+        assert_eq!(d, Decision::Direct(DirectReason::NoDisjointPaths));
+    }
+
+    #[test]
+    fn group_coupling_decision() {
+        let m = Machine::new(standard_shape(512).unwrap(), SimConfig::default());
+        let mover = SparseMover::new(&m);
+        let sources: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let dests: Vec<NodeId> = (480..512).map(NodeId).collect();
+        let mut p = Program::new(&m);
+        let (_, d) = mover.plan_group_coupling(&mut p, &sources, &dests, 16 << 20);
+        assert!(matches!(d, Decision::Multipath { .. }), "{d:?}");
+        let mut p2 = Program::new(&m);
+        let (_, d2) = mover.plan_group_coupling(&mut p2, &sources, &dests, 1024);
+        assert!(matches!(d2, Decision::Direct(_)), "{d2:?}");
+    }
+
+    #[test]
+    fn sparse_write_runs_through_facade() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let mut p = Program::new(&m);
+        let data: Vec<(NodeId, u64)> = (0..128).map(|i| (NodeId(i), 1 << 20)).collect();
+        let plan = mover.plan_sparse_write(&mut p, &data, &IoMoveOptions::default());
+        let rep = p.run();
+        assert!(plan.handle.completed_at(&rep) > 0.0);
+    }
+
+    #[test]
+    fn sparse_read_runs_through_facade() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let mut p = Program::new(&m);
+        let data: Vec<(NodeId, u64)> = (0..128).map(|i| (NodeId(i), 1 << 20)).collect();
+        let plan = mover.plan_sparse_read(&mut p, &data, &IoMoveOptions::default());
+        let rep = p.run();
+        assert!(plan.handle.completed_at(&rep) > 0.0);
+        assert_eq!(plan.handle.bytes, 128 << 20);
+    }
+}

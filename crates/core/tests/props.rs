@@ -1,0 +1,236 @@
+//! Property-based tests for the sparse data movement algorithms.
+
+use bgq_torus::{route, standard_shape, Dim, NodeId, Shape, Zone};
+use proptest::prelude::*;
+use sdm_core::*;
+use std::collections::HashSet;
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(standard_shape(128).unwrap()),
+        Just(standard_shape(256).unwrap()),
+        Just(standard_shape(512).unwrap()),
+        Just(Shape::new(4, 4, 4, 4, 4)),
+        Just(Shape::new(2, 2, 2, 4, 2)),
+    ]
+}
+
+fn shape_and_pair() -> impl Strategy<Value = (Shape, NodeId, NodeId)> {
+    arb_shape().prop_flat_map(|s| {
+        let n = s.num_nodes();
+        (Just(s), 0..n, 0..n).prop_map(|(s, a, b)| (s, NodeId(a), NodeId(b)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proxy_paths_are_always_pairwise_disjoint((s, a, b) in shape_and_pair()) {
+        prop_assume!(a != b);
+        let sel = find_proxies(&s, Zone::Z2, a, b, &HashSet::new(), &ProxySearchConfig::default());
+        // Either empty (fallback) or >= 3 paths, per the model.
+        prop_assert!(sel.is_empty() || sel.len() >= 3);
+        let mut seen: HashSet<bgq_torus::LinkId> = HashSet::new();
+        for p in &sel.paths {
+            prop_assert_eq!(p.to_proxy.src, a);
+            prop_assert_eq!(p.to_proxy.dst, p.proxy);
+            prop_assert_eq!(p.from_proxy.src, p.proxy);
+            prop_assert_eq!(p.from_proxy.dst, b);
+            prop_assert!(p.proxy != a && p.proxy != b);
+            for l in p.to_proxy.links.iter().chain(&p.from_proxy.links) {
+                prop_assert!(seen.insert(*l), "link {l} reused across proxy paths");
+            }
+        }
+    }
+
+    #[test]
+    fn split_chunks_conserves_bytes(bytes in 0u64..1_000_000_000, k in 1usize..11) {
+        let chunks = split_chunks(bytes, k);
+        prop_assert_eq!(chunks.len(), k);
+        prop_assert_eq!(chunks.iter().sum::<u64>(), bytes);
+        let max = *chunks.iter().max().unwrap();
+        let min = *chunks.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "chunks must be near-equal");
+    }
+
+    #[test]
+    fn cost_model_threshold_separates_regimes(
+        k in 3u32..11,
+        below in 1u64..1000,
+        above in 1u64..1_000_000,
+    ) {
+        let m = CostModel::bgq_defaults();
+        let th = m.threshold_bytes(k).unwrap();
+        if th > below {
+            prop_assert!(m.direct_time(th - below) <= m.proxy_time(th - below, k) * 1.0001);
+        }
+        prop_assert!(m.proxy_time(th + above, k) <= m.direct_time(th + above) * 1.0001);
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_message_size(k in 3u32..11, d1 in 1u64..50_000_000, d2 in 1u64..50_000_000) {
+        // Larger messages can only make proxies look better.
+        let m = CostModel::bgq_defaults();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.speedup(hi, k) >= m.speedup(lo, k) - 1e-12);
+    }
+
+    #[test]
+    fn block_factors_always_valid(count_idx in 0usize..8) {
+        let count = AGG_COUNTS[count_idx];
+        // All pset box extents that occur in standard shapes.
+        for extents in [
+            [2u16, 2, 4, 4, 2],
+            [1, 2, 4, 8, 2],
+            [1, 1, 4, 16, 2],
+            [2, 1, 4, 4, 2] as [u16; 5],
+        ] {
+            if extents.iter().map(|&e| e as u32).product::<u32>() != 128 {
+                continue;
+            }
+            let f = block_factors(extents, count);
+            prop_assert_eq!(f.iter().map(|&x| x as u32).product::<u32>(), count);
+            for i in 0..5 {
+                prop_assert_eq!(extents[i] % f[i], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_conserves_bytes_and_respects_chunks(
+        sizes in proptest::collection::vec(0u64..64_000_000, 1..64),
+        max_chunk in 1u64..16_000_000,
+    ) {
+        let layout = bgq_torus::IoLayout::new(standard_shape(512).unwrap());
+        let table = AggregatorTable::precompute(&layout);
+        let aggs = table.aggregators(4);
+        let data: Vec<(NodeId, u64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (NodeId(i as u32), b))
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        for policy in [AssignPolicy::BalancedGreedy, AssignPolicy::PsetLocal] {
+            let asg = assign_data(&data, aggs, &layout, max_chunk, policy);
+            prop_assert_eq!(asg.iter().map(|a| a.bytes).sum::<u64>(), total);
+            prop_assert!(asg.iter().all(|a| a.bytes <= max_chunk && a.bytes > 0));
+        }
+    }
+
+    #[test]
+    fn balanced_greedy_is_within_one_chunk_of_optimal(
+        sizes in proptest::collection::vec(1u64..32_000_000, 1..40),
+    ) {
+        let layout = bgq_torus::IoLayout::new(standard_shape(128).unwrap());
+        let table = AggregatorTable::precompute(&layout);
+        let aggs = table.aggregators(8);
+        let data: Vec<(NodeId, u64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (NodeId(i as u32), b))
+            .collect();
+        let chunk = 4u64 << 20;
+        let asg = assign_data(&data, aggs, &layout, chunk, AssignPolicy::BalancedGreedy);
+        let loads = aggregator_loads(&asg, aggs);
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        prop_assert!(max - min <= chunk, "imbalance {} > chunk {chunk}", max - min);
+    }
+}
+
+#[test]
+fn group_search_respects_membership_on_many_layouts() {
+    for (nodes, gsize) in [(128u32, 8usize), (512, 32), (2048, 128)] {
+        let shape = standard_shape(nodes).unwrap();
+        let n = shape.num_nodes();
+        let sources: Vec<NodeId> = (0..gsize as u32).map(NodeId).collect();
+        let dests: Vec<NodeId> = (n - gsize as u32..n).map(NodeId).collect();
+        let members: HashSet<NodeId> = sources.iter().chain(&dests).copied().collect();
+        let groups = find_proxy_groups(
+            &shape,
+            Zone::Z2,
+            &sources,
+            &dests,
+            &ProxySearchConfig::default(),
+        );
+        for g in &groups {
+            for p in &g.nodes {
+                assert!(!members.contains(p), "proxy inside a communicating group");
+            }
+        }
+    }
+}
+
+#[test]
+fn proxy_selection_never_uses_the_direct_route_links() {
+    // The direct route stays free, so multipath + direct can coexist
+    // (Fig. 7's include_direct mode splits over k+1 truly distinct paths
+    // only when this holds for the chosen proxies).
+    let shape = standard_shape(128).unwrap();
+    let (a, b) = (NodeId(0), NodeId(127));
+    let sel = find_proxies(
+        &shape,
+        Zone::Z2,
+        a,
+        b,
+        &HashSet::new(),
+        &ProxySearchConfig::default(),
+    );
+    assert!(!sel.is_empty());
+    let direct = route(&shape, a, b, Zone::Z2);
+    // Count how many proxy paths intersect the direct route; the search
+    // does not guarantee zero, but the first few disjoint paths should
+    // leave most of the direct corridor alone.
+    let mut clashes = 0;
+    for p in &sel.paths {
+        if p.to_proxy.shares_link_with(&direct) || p.from_proxy.shares_link_with(&direct) {
+            clashes += 1;
+        }
+    }
+    assert!(
+        clashes <= sel.len() / 2,
+        "{clashes}/{} proxy paths clash with the direct route",
+        sel.len()
+    );
+}
+
+#[test]
+fn pset_box_volume_is_always_128() {
+    for nodes in [128u32, 256, 512, 1024, 2048, 4096, 8192] {
+        let layout = bgq_torus::IoLayout::new(standard_shape(nodes).unwrap());
+        for p in 0..layout.num_psets() {
+            let (_, extents) = pset_box(&layout, bgq_torus::PsetId(p));
+            assert_eq!(extents.iter().map(|&e| e as u32).product::<u32>(), 128);
+        }
+    }
+}
+
+#[test]
+fn aggregators_cover_every_dim_extent() {
+    // At count 128 the aggregators of a pset are exactly its nodes; at
+    // lower counts they are spread (no two in the same block).
+    let layout = bgq_torus::IoLayout::new(standard_shape(2048).unwrap());
+    let table = AggregatorTable::precompute(&layout);
+    let shape = layout.shape();
+    for &c in &AGG_COUNTS {
+        let aggs = table.aggregators(c);
+        // All aggregators distinct.
+        let set: HashSet<NodeId> = aggs.iter().copied().collect();
+        assert_eq!(set.len(), aggs.len());
+        // Spread check: aggregator D-coordinates within a pset are evenly
+        // spaced when the D dimension is subdivided.
+        if c >= 8 {
+            let first_pset: Vec<NodeId> = aggs
+                .iter()
+                .copied()
+                .filter(|a| layout.pset_of(*a) == bgq_torus::PsetId(0))
+                .collect();
+            let dcoords: HashSet<u16> = first_pset
+                .iter()
+                .map(|a| shape.coord(*a).get(Dim::D))
+                .collect();
+            assert!(dcoords.len() >= 2, "count {c} leaves D unsplit");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # bgq-iosys
+//!
+//! The I/O-system baseline for the sparse-data-movement reproduction: a
+//! ROMIO-style two-phase **MPI-IO collective write** with the default BG/Q
+//! aggregator placement. This is the "default MPI collective I/O" curve in
+//! the paper's Figures 10 and 11, against which `sdm-core`'s
+//! topology-aware dynamic aggregation is compared.
+//!
+//! * [`file_domain`] — even-by-offset file domains and the exchange-phase
+//!   transfer computation;
+//! * [`collective`] — the end-to-end baseline plan: static rank-order
+//!   aggregators, exchange phase, `cb_buffer`-round flushes through each
+//!   aggregator's default bridge node to the ION.
+//!
+//! ```
+//! use bgq_comm::{Machine, Program};
+//! use bgq_iosys::{plan_collective_write, CollectiveIoConfig};
+//! use bgq_netsim::SimConfig;
+//! use bgq_torus::{standard_shape, NodeId};
+//!
+//! let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+//! let mut prog = Program::new(&machine);
+//! let data: Vec<(NodeId, u64)> = (0..128).map(|i| (NodeId(i), 1 << 20)).collect();
+//! let handle = plan_collective_write(&mut prog, &data, &CollectiveIoConfig::default());
+//! let report = prog.run();
+//! assert!(handle.throughput(&report) > 0.0);
+//! ```
+
+pub mod collective;
+pub mod file_domain;
+pub mod independent;
+pub mod read;
+pub mod storage;
+
+pub use collective::{default_aggregators, plan_collective_write, CollectiveIoConfig};
+pub use file_domain::{domain_loads, domain_transfers, DomainTransfer};
+pub use independent::{plan_independent_write, DEFAULT_REQUEST_BYTES};
+pub use read::plan_collective_read;
+pub use storage::{continue_to_storage, IonChunk};

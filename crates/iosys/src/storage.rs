@@ -1,0 +1,157 @@
+//! Optional storage backend: extending ION-terminated write plans through
+//! the switch complex to the file servers.
+//!
+//! The paper's I/O experiments write to `/dev/null` on the IONs, so the
+//! pset's two 2 GB/s eleventh links are the end of the line. Production
+//! I/O continues: each ION forwards over its InfiniBand link, and all IONs
+//! share the file servers' aggregate ingest (paper Fig. 1). This module
+//! lets any plan whose ION-side chunks are known continue to storage, so
+//! experiments can compare `/dev/null` aggregation throughput with
+//! end-to-end storage throughput.
+
+use bgq_comm::{Program, TransferHandle};
+use bgq_netsim::TransferId;
+use bgq_torus::IonId;
+
+/// One ION-terminated chunk of a write plan: the delivery token at the
+/// ION, which ION it landed on, and its size.
+#[derive(Debug, Clone, Copy)]
+pub struct IonChunk {
+    pub ion: IonId,
+    pub bytes: u64,
+    pub delivered: TransferId,
+}
+
+/// Continue every ION chunk to the file servers. Returns the storage-side
+/// completion handle.
+///
+/// # Panics
+/// Panics if the machine has no filesystem attached.
+pub fn continue_to_storage(prog: &mut Program<'_>, chunks: &[IonChunk]) -> TransferHandle {
+    let fwd = prog.machine().config().forward_overhead;
+    let mut tokens = Vec::with_capacity(chunks.len());
+    let mut bytes = 0u64;
+    for c in chunks {
+        tokens.push(prog.fs_write(c.ion, c.bytes, vec![c.delivered], fwd));
+        bytes += c.bytes;
+    }
+    TransferHandle { tokens, bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_comm::{FsParams, Machine};
+    use bgq_netsim::SimConfig;
+    use bgq_torus::{standard_shape, NodeId, PsetId};
+
+    fn fs_machine(nodes: u32, fs: FsParams) -> Machine {
+        Machine::new(standard_shape(nodes).unwrap(), SimConfig::default()).with_filesystem(fs)
+    }
+
+    /// Drive a write from a bridge through ION to storage and check the
+    /// end-to-end path exists.
+    #[test]
+    fn ion_chunks_reach_the_file_servers() {
+        let m = fs_machine(128, FsParams::default());
+        let layout = m.io_layout().clone();
+        let bridge = layout.bridges_of_pset(PsetId(0))[0];
+        let mut p = Program::new(&m);
+        let at_ion = p.ion_forward(bridge, 8 << 20, Vec::new(), 0.0);
+        let h = continue_to_storage(
+            &mut p,
+            &[IonChunk {
+                ion: layout.ion_of_pset(PsetId(0)),
+                bytes: 8 << 20,
+                delivered: at_ion,
+            }],
+        );
+        let rep = p.run();
+        assert!(h.completed_at(&rep) > rep.delivered_at(at_ion));
+    }
+
+    #[test]
+    fn slow_filesystem_becomes_the_bottleneck() {
+        // With a crippled aggregate ingest, end-to-end throughput drops to
+        // the filesystem rate regardless of the torus.
+        let slow = FsParams {
+            per_ion_bandwidth: 3.2e9,
+            aggregate_bandwidth: 0.5e9,
+        };
+        let m = fs_machine(128, slow);
+        let layout = m.io_layout().clone();
+        let mut p = Program::new(&m);
+        let bytes = 64u64 << 20;
+        let mut chunks = Vec::new();
+        for (i, bridge) in layout.bridges_of_pset(PsetId(0)).into_iter().enumerate() {
+            let t = p.ion_forward(bridge, bytes / 2, Vec::new(), 0.0);
+            let _ = i;
+            chunks.push(IonChunk {
+                ion: layout.ion_of_pset(PsetId(0)),
+                bytes: bytes / 2,
+                delivered: t,
+            });
+        }
+        let h = continue_to_storage(&mut p, &chunks);
+        let rep = p.run();
+        let thr = h.throughput(&rep);
+        assert!(thr <= 0.5e9 * 1.01, "fs-bound write too fast: {thr}");
+        assert!(thr >= 0.3e9, "pipeline should approach the fs rate: {thr}");
+    }
+
+    #[test]
+    fn fast_filesystem_leaves_io_links_binding() {
+        let m = fs_machine(128, FsParams::default());
+        let layout = m.io_layout().clone();
+        let mut p = Program::new(&m);
+        let bytes = 32u64 << 20;
+        let bridge = layout.bridges_of_pset(PsetId(0))[0];
+        let t = p.ion_forward(bridge, bytes, Vec::new(), 0.0);
+        let h = continue_to_storage(
+            &mut p,
+            &[IonChunk {
+                ion: layout.ion_of_pset(PsetId(0)),
+                bytes,
+                delivered: t,
+            }],
+        );
+        let rep = p.run();
+        // Store-and-forward over two ~2 GB/s stages: end-to-end rate is
+        // roughly half the eleventh-link rate, never more than the link.
+        let thr = h.throughput(&rep);
+        assert!(thr <= 2.0e9 * 1.01);
+        assert!(thr >= 0.8e9, "{thr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no filesystem attached")]
+    fn fs_write_without_fs_panics() {
+        let m = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+        let mut p = Program::new(&m);
+        p.fs_write(bgq_torus::IonId(0), 1024, Vec::new(), 0.0);
+    }
+
+    #[test]
+    fn capacities_include_fs_resources() {
+        let m = fs_machine(256, FsParams::default());
+        // 256 nodes: 2560 torus + 4+4 io links (both directions) +
+        // 2 ion IB + 1 aggregate.
+        assert_eq!(m.num_resources(), 2560 + 8 + 2 + 1);
+        let caps = m.capacities();
+        assert_eq!(caps.len(), 2571);
+        assert_eq!(caps[2568], 3.2e9);
+        assert_eq!(caps[2570], 240e9);
+        // The fs sink node exists.
+        assert_eq!(m.num_sim_nodes(), 256 + 2 + 1);
+        let _ = m.fs_sim_node();
+    }
+
+    #[test]
+    fn default_write_path_unaffected_without_fs() {
+        let m = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+        assert_eq!(m.num_resources(), 1280 + 4);
+        let mut p = Program::new(&m);
+        let t = p.write_default(NodeId(5), 1 << 20, Vec::new());
+        assert!(p.run().delivered_at(t) > 0.0);
+    }
+}

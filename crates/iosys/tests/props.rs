@@ -1,0 +1,100 @@
+//! Property tests for the collective-I/O baseline.
+
+use bgq_comm::{Machine, Program};
+use bgq_iosys::*;
+use bgq_netsim::SimConfig;
+use bgq_torus::{standard_shape, NodeId};
+use proptest::prelude::*;
+
+fn machine() -> Machine {
+    Machine::new(standard_shape(128).unwrap(), SimConfig::default())
+}
+
+fn data_strategy() -> impl Strategy<Value = Vec<(NodeId, u64)>> {
+    proptest::collection::vec(0u64..32_000_000, 1..128).prop_map(|sizes| {
+        sizes
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (NodeId(i as u32), b))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn domain_transfers_conserve_and_bound(data in data_strategy(), nagg in 1usize..64) {
+        let total: u64 = data.iter().map(|&(_, b)| b).sum();
+        let ts = domain_transfers(&data, nagg);
+        prop_assert_eq!(ts.iter().map(|t| t.bytes).sum::<u64>(), total);
+        for t in &ts {
+            prop_assert!(t.to_aggregator_index < nagg);
+            prop_assert!(t.bytes > 0);
+        }
+        // Domain loads differ by at most one fd_size (ROMIO evenness).
+        if total > 0 {
+            let loads = domain_loads(&ts, nagg);
+            let fd = total.div_ceil(nagg as u64);
+            for &l in &loads {
+                prop_assert!(l <= fd, "domain overloaded: {l} > {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_nodes_region_maps_to_contiguous_domains(bytes in 1u64..100_000_000, nagg in 1usize..32) {
+        // A single writer's file region maps to a contiguous run of
+        // domains (ROMIO's file-domain contiguity).
+        let ts = domain_transfers(&[(NodeId(0), bytes)], nagg);
+        let mut idxs: Vec<usize> = ts.iter().map(|t| t.to_aggregator_index).collect();
+        let sorted = {
+            let mut s = idxs.clone();
+            s.sort_unstable();
+            s
+        };
+        prop_assert_eq!(&idxs, &sorted, "domains visited out of order");
+        idxs.dedup();
+        for w in idxs.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1, "gap in domain run");
+        }
+    }
+
+    #[test]
+    fn collective_write_always_completes(data in data_strategy()) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let h = plan_collective_write(&mut p, &data, &CollectiveIoConfig::default());
+        let rep = p.run();
+        let total: u64 = data.iter().map(|&(_, b)| b).sum();
+        prop_assert_eq!(h.bytes, total);
+        if total > 0 {
+            prop_assert!(h.completed_at(&rep) > 0.0);
+            // Physical ceiling: one pset, only bridge 0 in the baseline.
+            prop_assert!(h.throughput(&rep) <= 2.0e9 * 1.01);
+        }
+    }
+
+    #[test]
+    fn independent_write_matches_request_count(
+        bytes in 0u64..64_000_000,
+        req in (1u64 << 20)..(16u64 << 20),
+    ) {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let h = plan_independent_write(&mut p, &[(NodeId(9), bytes)], req);
+        prop_assert_eq!(h.tokens.len() as u64, bytes.div_ceil(req));
+        prop_assert_eq!(h.bytes, bytes);
+    }
+
+    #[test]
+    fn default_aggregator_count_is_exact(per_pset in 1u32..64) {
+        let m = machine();
+        let aggs = default_aggregators(m.io_layout(), per_pset);
+        prop_assert_eq!(aggs.len() as u32, per_pset * m.io_layout().num_psets());
+        let mut uniq = aggs.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), aggs.len());
+    }
+}

@@ -1,0 +1,574 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a [`TransferGraph`] over a capacitated resource network:
+//!
+//! * each transfer waits for its dependencies, then enters its source
+//!   node's injection queue (one message is injected at a time per node,
+//!   taking [`SimConfig::send_overhead`] of CPU time — the Messaging Unit
+//!   descriptor setup);
+//! * once injected, the transfer becomes a *flow*; all concurrently active
+//!   flows share the network according to max-min fairness, recomputed at
+//!   every flow arrival/departure (fluid model);
+//! * when a flow's bytes complete, delivery occurs after the route's
+//!   pipeline latency plus [`SimConfig::recv_overhead`], which is when
+//!   dependent transfers may start.
+//!
+//! The engine is fully deterministic: identical inputs produce identical
+//! event orderings and timings.
+
+use crate::config::SimConfig;
+use crate::graph::{TransferGraph, TransferId};
+use crate::waterfill::{FlowDemand, Waterfill};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Bytes below which a flow is considered complete (absorbs float error).
+const BYTE_EPS: f64 = 1e-3;
+
+/// Result of executing a transfer graph.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Delivery time of each transfer (same indexing as the graph).
+    pub delivery_time: Vec<f64>,
+    /// Time each transfer's flow started moving bytes (injection complete).
+    pub flow_start_time: Vec<f64>,
+    /// Time the last transfer was delivered.
+    pub makespan: f64,
+    /// Total payload bytes moved.
+    pub total_bytes: u64,
+    /// Bytes carried per resource (only if `collect_link_stats`).
+    pub resource_bytes: Option<Vec<f64>>,
+}
+
+impl SimReport {
+    /// Aggregate throughput: total bytes over the makespan.
+    pub fn aggregate_throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.total_bytes as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Delivery time of one transfer.
+    pub fn delivered_at(&self, id: TransferId) -> f64 {
+        self.delivery_time[id.index()]
+    }
+
+    /// Latest delivery among a set of transfers (e.g. one logical message
+    /// split over several paths).
+    pub fn last_delivery(&self, ids: &[TransferId]) -> f64 {
+        ids.iter()
+            .map(|id| self.delivery_time[id.index()])
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A network: resource capacities plus node count, executing transfer
+/// graphs under a [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    capacities: Vec<f64>,
+    num_nodes: u32,
+    config: SimConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Dependencies satisfied: enter the source node's injection queue.
+    Ready(u32),
+    /// Sender CPU finished injecting: the flow goes live.
+    InjectionDone(u32),
+    /// Possible flow completion; valid only for the tagged rate epoch.
+    FlowCheck { epoch: u64 },
+    /// Transfer delivered at the destination.
+    Delivered(u32),
+}
+
+/// Time ordering key: total order on f64 plus a sequence number so
+/// simultaneous events process in creation order (determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    tid: u32,
+    remaining: f64,
+    rate: f64,
+}
+
+impl Simulator {
+    /// Build a simulator over `num_nodes` nodes and the given per-resource
+    /// capacities (bytes/second).
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(num_nodes: u32, capacities: Vec<f64>, config: SimConfig) -> Simulator {
+        config.validate();
+        Simulator {
+            capacities,
+            num_nodes,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Execute `graph` and return per-transfer timings.
+    ///
+    /// # Panics
+    /// Panics if a transfer references a node `>= num_nodes` or a resource
+    /// outside the capacity table.
+    pub fn run(&self, graph: &TransferGraph) -> SimReport {
+        let n = graph.len();
+        let specs = graph.specs();
+
+        // Dependency bookkeeping.
+        let mut remaining_deps: Vec<u32> = specs.iter().map(|s| s.deps.len() as u32).collect();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, s) in specs.iter().enumerate() {
+            assert!(
+                s.src < self.num_nodes && s.dst < self.num_nodes,
+                "transfer {i} references node outside the network"
+            );
+            for d in &s.deps {
+                children[d.index()].push(i as u32);
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let push = |heap: &mut BinaryHeap<Reverse<Entry>>, seq: &mut u64, time: f64, event: Event| {
+            debug_assert!(time.is_finite() && time >= 0.0);
+            *seq += 1;
+            heap.push(Reverse(Entry {
+                time,
+                seq: *seq,
+                event,
+            }));
+        };
+
+        // Seed: transfers with no dependencies become ready at start_at +
+        // extra_delay.
+        for (i, s) in specs.iter().enumerate() {
+            if s.deps.is_empty() {
+                let t = s.start_at.max(s.extra_delay);
+                push(&mut heap, &mut seq, t, Event::Ready(i as u32));
+            }
+        }
+
+        // Per-node injection CPU.
+        let mut cpu_queue: Vec<VecDeque<u32>> = vec![VecDeque::new(); self.num_nodes as usize];
+        let mut cpu_busy: Vec<bool> = vec![false; self.num_nodes as usize];
+
+        // Active flows and fair-share machinery.
+        let mut active: Vec<ActiveFlow> = Vec::new();
+        let mut waterfill = Waterfill::new(self.capacities.len());
+        let mut rates_scratch: Vec<f64> = Vec::new();
+        let mut rates_dirty = false;
+        let mut epoch: u64 = 0;
+
+        let mut delivery_time = vec![f64::NAN; n];
+        let mut flow_start_time = vec![f64::NAN; n];
+        let mut delivered_count: usize = 0;
+        let mut resource_bytes = if self.config.collect_link_stats {
+            Some(vec![0.0f64; self.capacities.len()])
+        } else {
+            None
+        };
+
+        let mut now = 0.0f64;
+
+        while let Some(Reverse(entry)) = heap.pop() {
+            // Advance the fluid state to the event time.
+            let dt = entry.time - now;
+            debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
+            if dt > 0.0 {
+                debug_assert!(!rates_dirty, "advancing with stale rates");
+                for f in &mut active {
+                    let moved = f.rate * dt;
+                    f.remaining -= moved;
+                    if let Some(rb) = resource_bytes.as_mut() {
+                        for r in &specs[f.tid as usize].route {
+                            rb[r.0 as usize] += moved;
+                        }
+                    }
+                }
+                now = entry.time;
+            }
+
+            match entry.event {
+                Event::Ready(tid) => {
+                    let node = specs[tid as usize].src as usize;
+                    if cpu_busy[node] {
+                        cpu_queue[node].push_back(tid);
+                    } else {
+                        cpu_busy[node] = true;
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + self.config.send_overhead,
+                            Event::InjectionDone(tid),
+                        );
+                    }
+                }
+                Event::InjectionDone(tid) => {
+                    let spec = &specs[tid as usize];
+                    let node = spec.src as usize;
+                    // Start the next queued injection on this node.
+                    if let Some(next) = cpu_queue[node].pop_front() {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + self.config.send_overhead,
+                            Event::InjectionDone(next),
+                        );
+                    } else {
+                        cpu_busy[node] = false;
+                    }
+                    flow_start_time[tid as usize] = now;
+                    if spec.bytes == 0 {
+                        // Pure synchronization edge: deliver after latency.
+                        let lat = spec.route.len() as f64 * self.config.hop_latency
+                            + self.config.recv_overhead;
+                        push(&mut heap, &mut seq, now + lat, Event::Delivered(tid));
+                    } else {
+                        active.push(ActiveFlow {
+                            tid,
+                            remaining: spec.bytes as f64,
+                            rate: 0.0,
+                        });
+                        rates_dirty = true;
+                    }
+                }
+                // Note: a stale FlowCheck (epoch mismatch) must fall through
+                // to the recompute block below, not `continue`, or pending
+                // dirty rates would never be refreshed.
+                Event::FlowCheck { epoch: e } => {
+                    if e == epoch {
+                        // Complete every flow that has drained.
+                        let mut completed_any = false;
+                        let mut i = 0;
+                        while i < active.len() {
+                            if active[i].remaining <= BYTE_EPS {
+                                let f = active.swap_remove(i);
+                                let spec = &specs[f.tid as usize];
+                                let lat = spec.route.len() as f64 * self.config.hop_latency
+                                    + self.config.recv_overhead;
+                                push(&mut heap, &mut seq, now + lat, Event::Delivered(f.tid));
+                                rates_dirty = true;
+                                completed_any = true;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        if !completed_any && !active.is_empty() {
+                            // Float noise left the nearest flow fractionally
+                            // short; re-arm the check at its true ETA.
+                            let next_done = active
+                                .iter()
+                                .map(|f| now + f.remaining.max(0.0) / f.rate)
+                                .fold(f64::INFINITY, f64::min);
+                            push(&mut heap, &mut seq, next_done, Event::FlowCheck { epoch });
+                        }
+                    }
+                }
+                Event::Delivered(tid) => {
+                    delivery_time[tid as usize] = now;
+                    delivered_count += 1;
+                    for &child in &children[tid as usize] {
+                        remaining_deps[child as usize] -= 1;
+                        if remaining_deps[child as usize] == 0 {
+                            let cs = &specs[child as usize];
+                            let t = (now + cs.extra_delay).max(cs.start_at);
+                            push(&mut heap, &mut seq, t, Event::Ready(child));
+                        }
+                    }
+                }
+            }
+
+            // Recompute fair shares once all events at this instant are
+            // handled (cheap peek-based batching).
+            let boundary = heap
+                .peek()
+                .map(|Reverse(e)| e.time > now)
+                .unwrap_or(true);
+            if rates_dirty && boundary {
+                epoch += 1;
+                if !active.is_empty() {
+                    let demands: Vec<FlowDemand> = active
+                        .iter()
+                        .map(|f| {
+                            let spec = &specs[f.tid as usize];
+                            FlowDemand {
+                                route: &spec.route,
+                                cap: spec.rate_cap.unwrap_or(self.config.per_flow_cap),
+                            }
+                        })
+                        .collect();
+                    waterfill.compute_with_penalty(
+                        &demands,
+                        &self.capacities,
+                        self.config.contention_penalty,
+                        self.config.contention_floor,
+                        &mut rates_scratch,
+                    );
+                    let mut next_done = f64::INFINITY;
+                    for (f, &r) in active.iter_mut().zip(rates_scratch.iter()) {
+                        f.rate = r;
+                        let eta = now + (f.remaining.max(0.0) / r);
+                        if eta < next_done {
+                            next_done = eta;
+                        }
+                    }
+                    push(&mut heap, &mut seq, next_done, Event::FlowCheck { epoch });
+                }
+                rates_dirty = false;
+            }
+        }
+
+        assert_eq!(
+            delivered_count, n,
+            "simulation ended with undelivered transfers (dependency deadlock?)"
+        );
+        let makespan = delivery_time.iter().copied().fold(0.0, f64::max);
+        SimReport {
+            delivery_time,
+            flow_start_time,
+            makespan,
+            total_bytes: graph.total_bytes(),
+            resource_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ResourceId, TransferSpec};
+
+    /// A config with clean round numbers for hand-computed expectations.
+    fn test_config() -> SimConfig {
+        SimConfig {
+            link_bandwidth: 100.0,
+            io_link_bandwidth: 100.0,
+            per_flow_cap: 100.0,
+            hop_latency: 0.0,
+            send_overhead: 1.0,
+            recv_overhead: 0.0,
+            rma_phase_overhead: 0.0,
+            forward_overhead: 0.0,
+            contention_penalty: 0.0,
+            contention_floor: 1.0,
+            collect_link_stats: true,
+        }
+    }
+
+    fn sim(nodes: u32, caps: Vec<f64>) -> Simulator {
+        Simulator::new(nodes, caps, test_config())
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        // 1000 bytes at 100 B/s over one link, 1 s injection overhead.
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let rep = s.run(&g);
+        assert!((rep.delivered_at(t) - 11.0).abs() < 1e-9, "{}", rep.delivered_at(t));
+        assert!((rep.flow_start_time[0] - 1.0).abs() < 1e-9);
+        assert_eq!(rep.total_bytes, 1000);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        // Two 1000-byte transfers from different nodes over one shared link.
+        let s = sim(3, vec![100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(0)]));
+        let rep = s.run(&g);
+        // Both start at t=1 (different source CPUs), share 100 B/s -> 50 each,
+        // finish at 1 + 20 = 21.
+        for t in &rep.delivery_time {
+            assert!((t - 21.0).abs() < 1e-6, "{t}");
+        }
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let s = sim(4, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(1, 3, 1000, vec![ResourceId(1)]));
+        let rep = s.run(&g);
+        for t in &rep.delivery_time {
+            assert!((t - 11.0).abs() < 1e-6, "{t}");
+        }
+    }
+
+    #[test]
+    fn injection_serializes_on_one_node() {
+        // Two sends from the same node: second flow starts o_s later.
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(0, 2, 100, vec![ResourceId(1)]));
+        let rep = s.run(&g);
+        assert!((rep.flow_start_time[0] - 1.0).abs() < 1e-9);
+        assert!((rep.flow_start_time[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_are_honored() {
+        // b starts only after a is delivered (store-and-forward).
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let b = g.add(
+            TransferSpec::new(1, 2, 1000, vec![ResourceId(1)])
+                .after(vec![a])
+                .with_delay(0.5),
+        );
+        let rep = s.run(&g);
+        let ta = rep.delivered_at(a);
+        assert!((ta - 11.0).abs() < 1e-6);
+        // b: ready at 11.5, injected at 12.5, 10 s transfer -> 22.5.
+        assert!((rep.delivered_at(b) - 22.5).abs() < 1e-6, "{}", rep.delivered_at(b));
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_a_sync_edge() {
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 0, vec![ResourceId(0)]));
+        let rep = s.run(&g);
+        // Injected at t=1, no bytes, delivered immediately (lat=0).
+        assert!((rep.delivered_at(a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_at_delays_a_transfer() {
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0)]).not_before(5.0));
+        let rep = s.run(&g);
+        assert!((rep.delivered_at(a) - 7.0).abs() < 1e-9); // 5 + 1 + 1
+    }
+
+    #[test]
+    fn rate_cap_limits_a_lone_flow() {
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(
+            TransferSpec::new(0, 1, 100, vec![ResourceId(0)]).with_rate_cap(10.0),
+        );
+        let rep = s.run(&g);
+        assert!((rep.delivered_at(a) - 11.0).abs() < 1e-9); // 1 + 100/10
+    }
+
+    #[test]
+    fn departing_flow_frees_bandwidth() {
+        // Short and long flow share a link; after the short one leaves the
+        // long one speeds up. 100 B/s shared.
+        let s = sim(3, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let short = g.add(TransferSpec::new(0, 2, 500, vec![ResourceId(0)]));
+        let long = g.add(TransferSpec::new(1, 2, 2000, vec![ResourceId(0)]));
+        let rep = s.run(&g);
+        // Both active at t=1 at 50 B/s. Short done at t=11 (500 bytes).
+        // Long has 1500 left, now at 100 B/s -> done at 11 + 15 = 26.
+        assert!((rep.delivered_at(short) - 11.0).abs() < 1e-6);
+        assert!((rep.delivered_at(long) - 26.0).abs() < 1e-6, "{}", rep.delivered_at(long));
+    }
+
+    #[test]
+    fn link_stats_conserve_bytes() {
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0), ResourceId(1)]));
+        g.add(TransferSpec::new(1, 2, 500, vec![ResourceId(1)]));
+        let rep = s.run(&g);
+        let rb = rep.resource_bytes.as_ref().unwrap();
+        assert!((rb[0] - 1000.0).abs() < 1.0, "{}", rb[0]);
+        assert!((rb[1] - 1500.0).abs() < 1.0, "{}", rb[1]);
+    }
+
+    #[test]
+    fn hop_latency_and_recv_overhead_add_to_delivery() {
+        let mut cfg = test_config();
+        cfg.hop_latency = 0.25;
+        cfg.recv_overhead = 0.5;
+        let s = Simulator::new(2, vec![100.0, 100.0], cfg);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0), ResourceId(1)]));
+        let rep = s.run(&g);
+        // 1 (inject) + 1 (transfer) + 2*0.25 (hops) + 0.5 (recv) = 3.0
+        assert!((rep.delivered_at(a) - 3.0).abs() < 1e-9, "{}", rep.delivered_at(a));
+    }
+
+    #[test]
+    fn makespan_and_throughput() {
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let rep = s.run(&g);
+        assert!((rep.makespan - 11.0).abs() < 1e-9);
+        assert!((rep.aggregate_throughput() - 1000.0 / 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let s = sim(1, vec![]);
+        let rep = s.run(&TransferGraph::new());
+        assert_eq!(rep.makespan, 0.0);
+        assert_eq!(rep.total_bytes, 0);
+    }
+
+    #[test]
+    fn diamond_dependency_graph() {
+        //    a
+        //   / \
+        //  b   c
+        //   \ /
+        //    d
+        let s = sim(4, vec![100.0; 4]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0)]));
+        let b = g.add(TransferSpec::new(1, 2, 100, vec![ResourceId(1)]).after(vec![a]));
+        let c = g.add(TransferSpec::new(1, 3, 100, vec![ResourceId(2)]).after(vec![a]));
+        let d = g.add(TransferSpec::new(2, 0, 100, vec![ResourceId(3)]).after(vec![b, c]));
+        let rep = s.run(&g);
+        let t_d = rep.delivered_at(d);
+        assert!(t_d > rep.delivered_at(b) && t_d > rep.delivered_at(c));
+        // a: 2.0. b ready 2.0, inject 3.0, done 4.0. c queued behind b's
+        // injection: inject at 4.0, done 5.0. d after max(b,c)=5: 7.0.
+        assert!((t_d - 7.0).abs() < 1e-6, "{t_d}");
+    }
+}

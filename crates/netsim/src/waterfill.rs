@@ -1,0 +1,428 @@
+//! Max-min fair bandwidth allocation (progressive filling / water-filling).
+//!
+//! Given a set of flows, each with a route over capacitated resources and a
+//! per-flow rate cap, compute the max-min fair rate vector: rates are raised
+//! uniformly until a resource saturates, flows through saturated resources
+//! are frozen, and the process repeats. Per-flow caps are handled uniformly
+//! by giving each flow a private virtual resource whose capacity is the cap.
+//!
+//! This is the classical fluid model of network sharing; it is how the
+//! BG/Q torus behaves at the message level when several messages contend
+//! for a link (the Messaging Unit arbitrates packet slots fairly).
+
+use crate::graph::ResourceId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One flow's demand: its route and rate cap.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDemand<'a> {
+    pub route: &'a [ResourceId],
+    pub cap: f64,
+}
+
+/// Reusable scratch state for water-filling computations.
+///
+/// Allocate once per simulation (sized by the number of real resources) and
+/// call [`Waterfill::compute`] at every rate recomputation; internal buffers
+/// are recycled so steady-state computation does not allocate.
+#[derive(Debug)]
+pub struct Waterfill {
+    num_resources: usize,
+    remaining: Vec<f64>,
+    count: Vec<u32>,
+    version: Vec<u32>,
+    flows_on: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl Waterfill {
+    /// Create scratch state for a network with `num_resources` real
+    /// resources.
+    pub fn new(num_resources: usize) -> Waterfill {
+        Waterfill {
+            num_resources,
+            remaining: vec![0.0; num_resources],
+            count: vec![0; num_resources],
+            version: vec![0; num_resources],
+            flows_on: (0..num_resources).map(|_| Vec::new()).collect(),
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn ensure_capacity(&mut self, total: usize) {
+        if self.remaining.len() < total {
+            self.remaining.resize(total, 0.0);
+            self.count.resize(total, 0);
+            self.version.resize(total, 0);
+            self.flows_on.resize_with(total, Vec::new);
+        }
+    }
+
+    /// Compute max-min fair rates with ideal sharing (no contention
+    /// penalty).
+    pub fn compute(
+        &mut self,
+        flows: &[FlowDemand<'_>],
+        capacities: &[f64],
+        rates: &mut Vec<f64>,
+    ) {
+        self.compute_with_penalty(flows, capacities, 0.0, 1.0, rates)
+    }
+
+    /// Compute max-min fair rates.
+    ///
+    /// `capacities[r]` is the capacity of real resource `r`; every resource
+    /// on a route must have positive capacity. `rates` is cleared and filled
+    /// with one rate per flow, in order.
+    ///
+    /// `contention_penalty` (γ) derates a resource shared by `n` flows to
+    /// `capacity · max(floor, 1 / (1 + γ·(n-1)))`, modelling per-flow
+    /// arbitration loss that saturates at `contention_floor`; γ = 0 (or
+    /// floor = 1) is ideal fluid sharing.
+    ///
+    /// # Panics
+    /// Panics if a route references a resource with non-positive capacity
+    /// or out of range of `capacities`, if γ is negative, or if the floor
+    /// is outside `(0, 1]`.
+    pub fn compute_with_penalty(
+        &mut self,
+        flows: &[FlowDemand<'_>],
+        capacities: &[f64],
+        contention_penalty: f64,
+        contention_floor: f64,
+        rates: &mut Vec<f64>,
+    ) {
+        assert!(
+            capacities.len() >= self.num_resources,
+            "capacity table smaller than resource space"
+        );
+        assert!(
+            contention_penalty >= 0.0,
+            "contention penalty must be non-negative"
+        );
+        assert!(
+            contention_floor > 0.0 && contention_floor <= 1.0,
+            "contention floor must be in (0, 1]"
+        );
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
+        if flows.is_empty() {
+            return;
+        }
+
+        let nr = self.num_resources;
+        self.ensure_capacity(nr + flows.len());
+        debug_assert!(self.touched.is_empty());
+
+        // Populate per-resource state for the resources in use.
+        for (fi, f) in flows.iter().enumerate() {
+            assert!(f.cap > 0.0, "flow {fi} has non-positive cap");
+            for r in f.route {
+                let ri = r.0 as usize;
+                assert!(ri < nr, "route references unknown resource {ri}");
+                if self.count[ri] == 0 {
+                    let c = capacities[ri];
+                    assert!(c > 0.0, "resource {ri} has non-positive capacity");
+                    self.remaining[ri] = c;
+                    self.touched.push(ri as u32);
+                }
+                self.count[ri] += 1;
+                self.flows_on[ri].push(fi as u32);
+            }
+            // Private cap resource for the flow.
+            let pi = nr + fi;
+            self.remaining[pi] = f.cap;
+            self.count[pi] = 1;
+            self.flows_on[pi].push(fi as u32);
+            self.touched.push(pi as u32);
+        }
+
+        // Derate shared real resources by the arbitration penalty (private
+        // per-flow caps are not links and are never derated).
+        if contention_penalty > 0.0 && contention_floor < 1.0 {
+            for &ri in &self.touched {
+                let ri = ri as usize;
+                if ri < nr && self.count[ri] > 1 {
+                    let eff = (1.0
+                        / (1.0 + contention_penalty * (self.count[ri] - 1) as f64))
+                        .max(contention_floor);
+                    self.remaining[ri] *= eff;
+                }
+            }
+        }
+
+        let mut fixed = vec![false; flows.len()];
+        let mut unfixed = flows.len();
+
+        // Progressive filling driven by a lazy min-heap of per-resource
+        // fair shares: pop the most constrained resource, freeze its
+        // unfixed flows at its share, push updated entries for every
+        // resource those flows touched. Entries are invalidated by a
+        // per-resource version counter instead of being removed, so each
+        // filling pass costs O(Σ route length · log) rather than
+        // O(iterations · touched resources).
+        self.heap.clear();
+        for &ri in &self.touched {
+            let ri_us = ri as usize;
+            self.heap.push(Reverse(HeapEntry {
+                share: Share(self.remaining[ri_us].max(0.0) / self.count[ri_us] as f64),
+                version: self.version[ri_us],
+                resource: ri,
+            }));
+        }
+
+        while unfixed > 0 {
+            let Reverse(entry) = self
+                .heap
+                .pop()
+                .unwrap_or_else(|| panic!("{unfixed} flows unfixed but no constrained resource"));
+            let ri = entry.resource as usize;
+            if self.count[ri] == 0 || entry.version != self.version[ri] {
+                continue; // stale
+            }
+            let s = self.remaining[ri].max(0.0) / self.count[ri] as f64;
+
+            // Freeze every unfixed flow crossing this bottleneck at s.
+            debug_assert!(!self.flows_on[ri].is_empty());
+            for fj in 0..self.flows_on[ri].len() {
+                let fi = self.flows_on[ri][fj] as usize;
+                if fixed[fi] {
+                    continue;
+                }
+                fixed[fi] = true;
+                unfixed -= 1;
+                rates[fi] = s;
+                let private = nr + fi;
+                let resources = flows[fi]
+                    .route
+                    .iter()
+                    .map(|r| r.0 as usize)
+                    .chain(std::iter::once(private));
+                for rr in resources {
+                    self.remaining[rr] -= s;
+                    self.count[rr] -= 1;
+                    self.version[rr] = self.version[rr].wrapping_add(1);
+                    if self.count[rr] > 0 {
+                        self.heap.push(Reverse(HeapEntry {
+                            share: Share(self.remaining[rr].max(0.0) / self.count[rr] as f64),
+                            version: self.version[rr],
+                            resource: rr as u32,
+                        }));
+                    }
+                }
+            }
+            debug_assert_eq!(self.count[ri], 0, "bottleneck must drain completely");
+        }
+
+        // Reset scratch for the next call.
+        for &ri in &self.touched {
+            let ri = ri as usize;
+            self.remaining[ri] = 0.0;
+            self.count[ri] = 0;
+            self.flows_on[ri].clear();
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
+/// Total-ordered share value for the filling heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Share(f64);
+
+impl Eq for Share {}
+
+impl PartialOrd for Share {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Share {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    share: Share,
+    version: u32,
+    resource: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(v: &[u32]) -> Vec<ResourceId> {
+        v.iter().map(|&x| ResourceId(x)).collect()
+    }
+
+    fn run(num_res: usize, caps: &[f64], flows: &[(Vec<ResourceId>, f64)]) -> Vec<f64> {
+        let mut wf = Waterfill::new(num_res);
+        let demands: Vec<FlowDemand> = flows
+            .iter()
+            .map(|(r, c)| FlowDemand { route: r, cap: *c })
+            .collect();
+        let mut rates = Vec::new();
+        wf.compute(&demands, caps, &mut rates);
+        rates
+    }
+
+    #[test]
+    fn single_flow_gets_its_cap() {
+        let rates = run(2, &[10.0, 10.0], &[(rid(&[0, 1]), 3.0)]);
+        assert_eq!(rates, vec![3.0]);
+    }
+
+    #[test]
+    fn single_flow_limited_by_link() {
+        let rates = run(2, &[2.0, 10.0], &[(rid(&[0, 1]), 5.0)]);
+        assert_eq!(rates, vec![2.0]);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let flows = vec![(rid(&[0]), 10.0), (rid(&[0]), 10.0), (rid(&[0]), 10.0)];
+        let rates = run(1, &[6.0], &flows);
+        for r in rates {
+            assert!((r - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capped_flow_releases_bandwidth_to_others() {
+        // Two flows on a 10-unit link; one capped at 2 -> other gets 8.
+        let flows = vec![(rid(&[0]), 2.0), (rid(&[0]), 100.0)];
+        let rates = run(1, &[10.0], &flows);
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_three_link_max_min() {
+        // Textbook example: long flow over links 0,1; short flows on each.
+        // caps: link0 = 10, link1 = 4.
+        // Fair: bottleneck link1 share 2 (long, short1), then short0 gets 8.
+        let flows = vec![
+            (rid(&[0, 1]), 100.0), // long
+            (rid(&[0]), 100.0),    // short on link 0
+            (rid(&[1]), 100.0),    // short on link 1
+        ];
+        let rates = run(2, &[10.0, 4.0], &flows);
+        assert!((rates[0] - 2.0).abs() < 1e-9, "long flow {}", rates[0]);
+        assert!((rates[1] - 8.0).abs() < 1e-9, "short0 {}", rates[1]);
+        assert!((rates[2] - 2.0).abs() < 1e-9, "short1 {}", rates[2]);
+    }
+
+    #[test]
+    fn empty_route_flow_gets_cap() {
+        let rates = run(1, &[10.0], &[(rid(&[]), 7.0)]);
+        assert_eq!(rates, vec![7.0]);
+    }
+
+    #[test]
+    fn no_flows_is_fine() {
+        let rates = run(1, &[10.0], &[]);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        // Randomish asymmetric scenario, checked exhaustively.
+        let flows = vec![
+            (rid(&[0, 1, 2]), 5.0),
+            (rid(&[1]), 9.0),
+            (rid(&[2, 0]), 1.5),
+            (rid(&[0]), 9.0),
+            (rid(&[2]), 0.25),
+        ];
+        let caps = [4.0, 3.0, 2.0];
+        let rates = run(3, &caps, &flows);
+        let mut used = [0.0f64; 3];
+        for ((route, cap), rate) in flows.iter().zip(&rates) {
+            assert!(*rate <= cap * (1.0 + 1e-9), "rate exceeds cap");
+            assert!(*rate > 0.0, "every flow must make progress");
+            for r in route {
+                used[r.0 as usize] += rate;
+            }
+        }
+        for (u, c) in used.iter().zip(&caps) {
+            assert!(u <= &(c * (1.0 + 1e-6)), "capacity exceeded: {u} > {c}");
+        }
+    }
+
+    #[test]
+    fn scratch_state_resets_between_calls() {
+        let mut wf = Waterfill::new(1);
+        let route = rid(&[0]);
+        let demands = [FlowDemand { route: &route, cap: 100.0 }];
+        let mut rates = Vec::new();
+        wf.compute(&demands, &[10.0], &mut rates);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        // Second call must see a clean slate.
+        wf.compute(&demands, &[10.0], &mut rates);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_penalty_derates_shared_links() {
+        let mut wf = Waterfill::new(1);
+        let route = rid(&[0]);
+        let demands = [
+            FlowDemand { route: &route, cap: 100.0 },
+            FlowDemand { route: &route, cap: 100.0 },
+        ];
+        let mut rates = Vec::new();
+        // Ideal sharing: 5 + 5.
+        wf.compute_with_penalty(&demands, &[10.0], 0.0, 1.0, &mut rates);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        // γ = 0.5, floor 0.5: effective capacity 10 / 1.5 -> 3.333 each.
+        wf.compute_with_penalty(&demands, &[10.0], 0.5, 0.5, &mut rates);
+        assert!((rates[0] - 10.0 / 1.5 / 2.0).abs() < 1e-9, "{}", rates[0]);
+        assert!((rates[1] - rates[0]).abs() < 1e-12);
+        // Same γ but floor 0.8: the floor binds -> 4.0 each.
+        wf.compute_with_penalty(&demands, &[10.0], 0.5, 0.8, &mut rates);
+        assert!((rates[0] - 4.0).abs() < 1e-9, "{}", rates[0]);
+    }
+
+    #[test]
+    fn contention_penalty_leaves_lone_flows_alone() {
+        let mut wf = Waterfill::new(2);
+        let r0 = rid(&[0]);
+        let r1 = rid(&[1]);
+        let demands = [
+            FlowDemand { route: &r0, cap: 100.0 },
+            FlowDemand { route: &r1, cap: 100.0 },
+        ];
+        let mut rates = Vec::new();
+        wf.compute_with_penalty(&demands, &[10.0, 10.0], 0.9, 0.5, &mut rates);
+        assert_eq!(rates, vec![10.0, 10.0], "disjoint flows see no penalty");
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be non-negative")]
+    fn negative_penalty_panics() {
+        let mut wf = Waterfill::new(1);
+        let route = rid(&[0]);
+        let demands = [FlowDemand { route: &route, cap: 1.0 }];
+        let mut rates = Vec::new();
+        wf.compute_with_penalty(&demands, &[10.0], -0.1, 1.0, &mut rates);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_panics() {
+        run(1, &[10.0], &[(rid(&[3]), 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive capacity")]
+    fn zero_capacity_panics() {
+        run(1, &[0.0], &[(rid(&[0]), 1.0)]);
+    }
+}

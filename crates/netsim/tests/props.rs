@@ -1,0 +1,193 @@
+//! Property-based tests for the network simulator.
+
+use bgq_netsim::*;
+use proptest::prelude::*;
+
+/// Strategy: a random small network scenario.
+///
+/// Produces (num_nodes, capacities, transfers) where each transfer has a
+/// random source/destination, size, and a route of 1..4 random resources.
+fn scenario() -> impl Strategy<Value = (u32, Vec<f64>, Vec<TransferSpec>)> {
+    let nodes = 2u32..8;
+    let nres = 1usize..8;
+    (nodes, nres).prop_flat_map(|(n, r)| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, r);
+        let transfers = proptest::collection::vec(
+            (
+                0..n,
+                0..n,
+                0u64..100_000,
+                proptest::collection::vec(0..r as u32, 0..4),
+            ),
+            1..20,
+        );
+        (Just(n), caps, transfers).prop_map(|(n, caps, ts)| {
+            let specs = ts
+                .into_iter()
+                .map(|(src, dst, bytes, route)| {
+                    TransferSpec::new(
+                        src,
+                        dst,
+                        bytes,
+                        route.into_iter().map(ResourceId).collect(),
+                    )
+                })
+                .collect();
+            (n, caps, specs)
+        })
+    })
+}
+
+fn quick_config() -> SimConfig {
+    SimConfig {
+        link_bandwidth: 100.0,
+        io_link_bandwidth: 100.0,
+        per_flow_cap: 50.0,
+        hop_latency: 1e-3,
+        send_overhead: 1e-2,
+        recv_overhead: 1e-2,
+        rma_phase_overhead: 0.0,
+        forward_overhead: 0.0,
+        contention_penalty: 0.0,
+        contention_floor: 1.0,
+        collect_link_stats: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_transfer_is_delivered((n, caps, specs) in scenario()) {
+        let sim = Simulator::new(n, caps, quick_config());
+        let mut g = TransferGraph::new();
+        for s in specs {
+            g.add(s);
+        }
+        let rep = sim.run(&g);
+        for (i, t) in rep.delivery_time.iter().enumerate() {
+            prop_assert!(t.is_finite(), "transfer {i} never delivered");
+            prop_assert!(*t >= 0.0);
+        }
+        prop_assert!(rep.makespan.is_finite());
+    }
+
+    #[test]
+    fn simulation_is_deterministic((n, caps, specs) in scenario()) {
+        let sim = Simulator::new(n, caps, quick_config());
+        let mut g = TransferGraph::new();
+        for s in specs {
+            g.add(s);
+        }
+        let r1 = sim.run(&g);
+        let r2 = sim.run(&g);
+        prop_assert_eq!(r1.delivery_time, r2.delivery_time);
+        prop_assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn bytes_are_conserved_on_links((n, caps, specs) in scenario()) {
+        let sim = Simulator::new(n, caps.clone(), quick_config());
+        let mut g = TransferGraph::new();
+        for s in specs {
+            g.add(s);
+        }
+        let rep = sim.run(&g);
+        // Each resource must have carried exactly the bytes of the
+        // transfers routed over it (within float tolerance).
+        let mut expect = vec![0.0f64; caps.len()];
+        for s in g.specs() {
+            for r in &s.route {
+                expect[r.0 as usize] += s.bytes as f64;
+            }
+        }
+        let got = rep.resource_bytes.as_ref().unwrap();
+        for (i, (e, g)) in expect.iter().zip(got).enumerate() {
+            prop_assert!(
+                (e - g).abs() <= 1.0 + e * 1e-6,
+                "resource {i}: expected {e} bytes, accounted {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn chains_deliver_in_order(len in 2usize..8, bytes in 1u64..50_000) {
+        // A dependency chain must deliver strictly monotonically.
+        let sim = Simulator::new(2, vec![100.0], quick_config());
+        let mut g = TransferGraph::new();
+        let mut prev: Option<TransferId> = None;
+        let mut ids = Vec::new();
+        for _ in 0..len {
+            let mut s = TransferSpec::new(0, 1, bytes, vec![ResourceId(0)]);
+            if let Some(p) = prev {
+                s = s.after(vec![p]);
+            }
+            let id = g.add(s);
+            ids.push(id);
+            prev = Some(id);
+        }
+        let rep = sim.run(&g);
+        for w in ids.windows(2) {
+            prop_assert!(rep.delivered_at(w[0]) < rep.delivered_at(w[1]));
+        }
+    }
+
+    #[test]
+    fn more_contention_never_speeds_up_a_flow(extra in 0usize..6) {
+        // Adding competing flows on the same link cannot make the probe
+        // transfer finish earlier (monotonicity of fair sharing).
+        let sim = Simulator::new(4, vec![100.0], quick_config());
+        let run_with = |k: usize| {
+            let mut g = TransferGraph::new();
+            let probe = g.add(TransferSpec::new(0, 1, 10_000, vec![ResourceId(0)]));
+            for i in 0..k {
+                g.add(TransferSpec::new(
+                    (2 + i as u32 % 2) % 4,
+                    1,
+                    10_000,
+                    vec![ResourceId(0)],
+                ));
+            }
+            sim.run(&g).delivered_at(probe)
+        };
+        let base = run_with(0);
+        let loaded = run_with(extra);
+        prop_assert!(loaded >= base - 1e-9, "probe sped up under load: {base} -> {loaded}");
+    }
+
+    #[test]
+    fn splitting_over_disjoint_paths_helps_large_messages(
+        bytes in 1_000_000u64..10_000_000,
+    ) {
+        // One flow capped at 50 on a single path vs. two halves on two
+        // disjoint paths: the split must win for large messages.
+        let sim = Simulator::new(2, vec![100.0, 100.0], quick_config());
+        let mut direct = TransferGraph::new();
+        let d = direct.add(TransferSpec::new(0, 1, bytes, vec![ResourceId(0)]));
+        let t_direct = sim.run(&direct).delivered_at(d);
+
+        let mut split = TransferGraph::new();
+        let a = split.add(TransferSpec::new(0, 1, bytes / 2, vec![ResourceId(0)]));
+        let b = split.add(TransferSpec::new(0, 1, bytes - bytes / 2, vec![ResourceId(1)]));
+        let rep = sim.run(&split);
+        let t_split = rep.last_delivery(&[a, b]);
+        prop_assert!(t_split < t_direct, "split {t_split} vs direct {t_direct}");
+    }
+}
+
+#[test]
+fn water_filling_matches_hand_computed_scenario() {
+    // Three flows: two share link 0 (cap 100), one alone on link 1.
+    // Flow caps 50 each: so flows on link 0 get 50 each exactly (no
+    // contention loss), lone flow gets 50 (cap-bound).
+    let sim = Simulator::new(4, vec![100.0, 100.0], quick_config());
+    let mut g = TransferGraph::new();
+    let a = g.add(TransferSpec::new(0, 1, 5_000, vec![ResourceId(0)]));
+    let b = g.add(TransferSpec::new(2, 1, 5_000, vec![ResourceId(0)]));
+    let c = g.add(TransferSpec::new(3, 1, 5_000, vec![ResourceId(1)]));
+    let rep = sim.run(&g);
+    let times: Vec<f64> = [a, b, c].iter().map(|t| rep.delivered_at(*t)).collect();
+    // All three transfer at 50 B/s -> 100 s + overheads, same finish.
+    assert!((times[0] - times[1]).abs() < 1e-6);
+    assert!((times[0] - times[2]).abs() < 1e-6);
+}

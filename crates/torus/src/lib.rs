@@ -1,0 +1,45 @@
+//! # bgq-torus
+//!
+//! A faithful topology model of the IBM Blue Gene/Q interconnect, built as
+//! the substrate for reproducing *"Improving Data Movement Performance for
+//! Sparse Data Patterns on the Blue Gene/Q Supercomputer"* (Bui et al.,
+//! ICPP 2014).
+//!
+//! The crate provides:
+//!
+//! * 5D torus [`coords`] (dimensions `A..E`, ten directions per node);
+//! * partition [`shape::Shape`]s with dense [`shape::NodeId`]s and torus
+//!   distance arithmetic;
+//! * directed [`links`] with dense indices for simulator bookkeeping;
+//! * deterministic and randomized dimension-order zone [`routing`]
+//!   (PAMI zones 0–3);
+//! * standard Mira [`partition`] shapes (128 … 49,152 nodes);
+//! * [`pset`] / bridge-node / I/O-node layout (128-node psets, two 2 GB/s
+//!   I/O links each);
+//! * MPI rank [`mapping`]s (`ABCDET`, `TABCDE`).
+//!
+//! Everything is deterministic given explicit RNGs, so higher layers can
+//! reproduce experiments bit-for-bit.
+
+pub mod coords;
+pub mod links;
+pub mod mapfile;
+pub mod mapping;
+pub mod midplane;
+pub mod partition;
+pub mod pset;
+pub mod routing;
+pub mod shape;
+
+pub use coords::{Coord, Dim, Direction, Sign, NDIMS};
+pub use links::{all_links, link_target, num_links, LinkId, LINKS_PER_NODE};
+pub use mapfile::{MapFile, MapFileError};
+pub use mapping::{MapOrder, Rank, RankMap};
+pub use midplane::{
+    is_valid_partition, midplane_grid, midplane_shape, midplanes_for, node_board_shape,
+    MIDPLANE_NODES, NODE_BOARD_NODES,
+};
+pub use partition::{shape_for_cores, standard_shape, CORES_PER_NODE, PSET_NODES, STANDARD_SIZES};
+pub use pset::{IoLayout, IonId, PsetId, BRIDGES_PER_PSET};
+pub use routing::{dim_order, route, route_with_rng, select_zone, Route, Zone};
+pub use shape::{NodeId, Shape};

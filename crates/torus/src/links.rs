@@ -1,0 +1,116 @@
+//! Dense identifiers for the directed torus links of a partition.
+//!
+//! Each node owns ten *outgoing* directed links, one per [`Direction`].
+//! A link is identified by `(owner node, direction)` and densely indexed as
+//! `node * 10 + direction`, which lets the network simulator store per-link
+//! state in flat vectors. The eleventh (I/O) link of bridge nodes lives in a
+//! separate resource space managed by `bgq-iosys`.
+
+use crate::coords::{Direction, NDIMS};
+use crate::shape::{NodeId, Shape};
+use std::fmt;
+
+/// Number of torus links per node (two per dimension).
+pub const LINKS_PER_NODE: u32 = (2 * NDIMS) as u32;
+
+/// A directed torus link, identified by its owning (sending) node and the
+/// direction it points in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Build a link id from its owner and direction.
+    #[inline]
+    pub fn new(node: NodeId, dir: Direction) -> LinkId {
+        LinkId(node.0 * LINKS_PER_NODE + dir.index() as u32)
+    }
+
+    /// The node this link leaves from.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 / LINKS_PER_NODE)
+    }
+
+    /// The direction this link points in.
+    #[inline]
+    pub fn direction(self) -> Direction {
+        Direction::from_index((self.0 % LINKS_PER_NODE) as usize)
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node(), self.direction())
+    }
+}
+
+/// Total number of directed torus links in a partition.
+pub fn num_links(shape: &Shape) -> u32 {
+    shape.num_nodes() * LINKS_PER_NODE
+}
+
+/// The node a link arrives at (the owner's neighbour in the link direction).
+pub fn link_target(shape: &Shape, link: LinkId) -> NodeId {
+    let from = shape.coord(link.node());
+    shape.node_id(shape.neighbor(from, link.direction()))
+}
+
+/// Iterate over every directed link in the partition.
+pub fn all_links(shape: &Shape) -> impl Iterator<Item = LinkId> {
+    (0..num_links(shape)).map(LinkId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::{Coord, Dim, Sign};
+
+    #[test]
+    fn link_id_round_trip() {
+        let shape = Shape::new(2, 2, 4, 4, 2);
+        for node in shape.nodes() {
+            for dir in Direction::all() {
+                let l = LinkId::new(node, dir);
+                assert_eq!(l.node(), node);
+                assert_eq!(l.direction(), dir);
+            }
+        }
+    }
+
+    #[test]
+    fn num_links_is_ten_per_node() {
+        let shape = Shape::new(4, 4, 4, 4, 2);
+        assert_eq!(num_links(&shape), 512 * 10);
+        assert_eq!(all_links(&shape).count(), 5120);
+    }
+
+    #[test]
+    fn link_target_is_neighbor() {
+        let shape = Shape::new(2, 2, 4, 4, 2);
+        let n = shape.node_id(Coord::new(0, 0, 3, 0, 0));
+        let l = LinkId::new(n, Direction::new(Dim::C, Sign::Plus));
+        assert_eq!(
+            link_target(&shape, l),
+            shape.node_id(Coord::new(0, 0, 0, 0, 0)),
+            "+C from C=3 wraps to C=0"
+        );
+    }
+
+    #[test]
+    fn opposite_links_are_distinct_resources() {
+        // u -> v via +A and v -> u via -A are different directed links.
+        let shape = Shape::new(4, 2, 2, 2, 2);
+        let u = shape.node_id(Coord::new(0, 0, 0, 0, 0));
+        let v = shape.node_id(Coord::new(1, 0, 0, 0, 0));
+        let uv = LinkId::new(u, Direction::new(Dim::A, Sign::Plus));
+        let vu = LinkId::new(v, Direction::new(Dim::A, Sign::Minus));
+        assert_ne!(uv, vu);
+        assert_eq!(link_target(&shape, uv), v);
+        assert_eq!(link_target(&shape, vu), u);
+    }
+}

@@ -1,0 +1,183 @@
+//! MPI rank ↔ compute node mappings.
+//!
+//! BG/Q jobs choose how MPI ranks are laid out over the torus with a mapping
+//! string such as `ABCDET` (the default: the `T` coordinate — the rank slot
+//! within a node — varies fastest, then `E`, `D`, …) or `TABCDE` (ranks
+//! round-robin over nodes first). The paper's workloads use the default
+//! contiguous mapping, which is what makes its "contiguous groups of ranks"
+//! assumption (§IV.C) hold.
+
+use crate::shape::{NodeId, Shape};
+use std::fmt;
+
+/// An MPI rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub u32);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Rank layout order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MapOrder {
+    /// `ABCDET`: consecutive ranks fill a node before moving to the next
+    /// node (in `ABCDE` node order). The BG/Q default.
+    #[default]
+    AbcdeT,
+    /// `TABCDE`: consecutive ranks go to consecutive nodes, wrapping back to
+    /// slot 1 of node 0 after every node got slot 0.
+    TAbcde,
+}
+
+/// A concrete rank mapping: partition shape, ranks per node, layout order.
+#[derive(Debug, Clone)]
+pub struct RankMap {
+    shape: Shape,
+    ranks_per_node: u32,
+    order: MapOrder,
+}
+
+impl RankMap {
+    /// Build a mapping.
+    ///
+    /// # Panics
+    /// Panics if `ranks_per_node` is 0 or exceeds 64 (4 hardware threads on
+    /// each of 16 cores).
+    pub fn new(shape: Shape, ranks_per_node: u32, order: MapOrder) -> RankMap {
+        assert!(
+            (1..=64).contains(&ranks_per_node),
+            "ranks per node must be in 1..=64, got {ranks_per_node}"
+        );
+        RankMap {
+            shape,
+            ranks_per_node,
+            order,
+        }
+    }
+
+    /// Default `ABCDET` mapping with the given ranks per node.
+    pub fn default_map(shape: Shape, ranks_per_node: u32) -> RankMap {
+        RankMap::new(shape, ranks_per_node, MapOrder::AbcdeT)
+    }
+
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    pub fn ranks_per_node(&self) -> u32 {
+        self.ranks_per_node
+    }
+
+    pub fn order(&self) -> MapOrder {
+        self.order
+    }
+
+    /// Total number of ranks in the job.
+    pub fn num_ranks(&self) -> u32 {
+        self.shape.num_nodes() * self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    ///
+    /// # Panics
+    /// Panics if the rank is out of range.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        assert!(rank.0 < self.num_ranks(), "rank {rank} out of range");
+        match self.order {
+            MapOrder::AbcdeT => NodeId(rank.0 / self.ranks_per_node),
+            MapOrder::TAbcde => NodeId(rank.0 % self.shape.num_nodes()),
+        }
+    }
+
+    /// The on-node slot (the `T` coordinate) of `rank`.
+    pub fn slot_of(&self, rank: Rank) -> u32 {
+        assert!(rank.0 < self.num_ranks(), "rank {rank} out of range");
+        match self.order {
+            MapOrder::AbcdeT => rank.0 % self.ranks_per_node,
+            MapOrder::TAbcde => rank.0 / self.shape.num_nodes(),
+        }
+    }
+
+    /// The rank at `(node, slot)`.
+    pub fn rank_at(&self, node: NodeId, slot: u32) -> Rank {
+        assert!(node.0 < self.shape.num_nodes() && slot < self.ranks_per_node);
+        match self.order {
+            MapOrder::AbcdeT => Rank(node.0 * self.ranks_per_node + slot),
+            MapOrder::TAbcde => Rank(slot * self.shape.num_nodes() + node.0),
+        }
+    }
+
+    /// All ranks hosted on `node`.
+    pub fn ranks_on(&self, node: NodeId) -> Vec<Rank> {
+        (0..self.ranks_per_node)
+            .map(|s| self.rank_at(node, s))
+            .collect()
+    }
+
+    /// Iterate over all ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.num_ranks()).map(Rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map16() -> RankMap {
+        RankMap::default_map(Shape::new(2, 2, 4, 4, 2), 16)
+    }
+
+    #[test]
+    fn num_ranks_scales() {
+        assert_eq!(map16().num_ranks(), 2048);
+    }
+
+    #[test]
+    fn abcdet_packs_node_first() {
+        let m = map16();
+        assert_eq!(m.node_of(Rank(0)), NodeId(0));
+        assert_eq!(m.node_of(Rank(15)), NodeId(0));
+        assert_eq!(m.node_of(Rank(16)), NodeId(1));
+        assert_eq!(m.slot_of(Rank(17)), 1);
+    }
+
+    #[test]
+    fn tabcde_round_robins_nodes() {
+        let m = RankMap::new(Shape::new(2, 2, 4, 4, 2), 4, MapOrder::TAbcde);
+        assert_eq!(m.node_of(Rank(0)), NodeId(0));
+        assert_eq!(m.node_of(Rank(1)), NodeId(1));
+        assert_eq!(m.node_of(Rank(128)), NodeId(0));
+        assert_eq!(m.slot_of(Rank(128)), 1);
+    }
+
+    #[test]
+    fn rank_at_round_trips() {
+        for order in [MapOrder::AbcdeT, MapOrder::TAbcde] {
+            let m = RankMap::new(Shape::new(2, 2, 4, 4, 2), 8, order);
+            for r in m.ranks() {
+                let (n, s) = (m.node_of(r), m.slot_of(r));
+                assert_eq!(m.rank_at(n, s), r);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_on_node_are_consistent() {
+        let m = map16();
+        let rs = m.ranks_on(NodeId(3));
+        assert_eq!(rs.len(), 16);
+        for r in rs {
+            assert_eq!(m.node_of(r), NodeId(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_panics() {
+        map16().node_of(Rank(99999));
+    }
+}

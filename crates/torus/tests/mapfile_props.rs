@@ -1,0 +1,63 @@
+//! Property tests for map files and midplane structure.
+
+use bgq_torus::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn default_mapfile_round_trips(rpn in 1u32..=16) {
+        let shape = standard_shape(128).unwrap();
+        let text = MapFile::default_text(&shape, rpn);
+        let m = MapFile::parse(&text, shape, rpn).unwrap();
+        prop_assert_eq!(m.num_ranks(), 128 * rpn);
+        prop_assert_eq!(m.render(), text);
+        // Agreement with the built-in ABCDET mapping.
+        let builtin = RankMap::default_map(shape, rpn);
+        for r in 0..m.num_ranks() {
+            prop_assert_eq!(m.node_of(r), builtin.node_of(Rank(r)));
+            prop_assert_eq!(m.slot_of(r), builtin.slot_of(Rank(r)));
+        }
+    }
+
+    #[test]
+    fn shuffled_mapfile_parses_and_preserves_lines(seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let shape = standard_shape(128).unwrap();
+        let mut lines: Vec<String> = MapFile::default_text(&shape, 2)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        lines.shuffle(&mut rng);
+        let text = lines.join("\n");
+        let m = MapFile::parse(&text, shape, 2).unwrap();
+        prop_assert_eq!(m.num_ranks(), 256);
+        // Rank i is line i: spot-check a few.
+        for (i, line) in lines.iter().enumerate().take(16) {
+            let nums: Vec<u16> = line
+                .split_whitespace()
+                .map(|t| t.parse().unwrap())
+                .collect();
+            let c = Coord::new(nums[0], nums[1], nums[2], nums[3], nums[4]);
+            prop_assert_eq!(m.node_of(i as u32), shape.node_id(c));
+        }
+    }
+
+    #[test]
+    fn midplane_counts_are_consistent(idx in 0usize..7) {
+        let nodes = STANDARD_SIZES[idx];
+        let shape = standard_shape(nodes).unwrap();
+        let mp = midplanes_for(&shape);
+        if nodes <= MIDPLANE_NODES {
+            prop_assert_eq!(mp, 1);
+        } else {
+            prop_assert_eq!(mp * MIDPLANE_NODES, nodes);
+            let grid = midplane_grid(&shape).unwrap();
+            let product: u32 = grid.iter().map(|&g| g as u32).product();
+            prop_assert_eq!(product, mp);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the torus topology model.
+
+use bgq_torus::*;
+use proptest::prelude::*;
+
+/// Strategy: a valid shape with small extents (keeps routes short).
+fn shapes() -> impl Strategy<Value = Shape> {
+    (1u16..=8, 1u16..=8, 1u16..=8, 1u16..=16, 1u16..=2)
+        .prop_map(|(a, b, c, d, e)| Shape::new(a, b, c, d, e))
+}
+
+/// Strategy: a shape plus two node ids inside it.
+fn shape_and_pair() -> impl Strategy<Value = (Shape, NodeId, NodeId)> {
+    shapes().prop_flat_map(|s| {
+        let n = s.num_nodes();
+        (Just(s), 0..n, 0..n).prop_map(|(s, a, b)| (s, NodeId(a), NodeId(b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn node_id_coord_round_trip((s, a, _b) in shape_and_pair()) {
+        let c = s.coord(a);
+        prop_assert!(s.contains(c));
+        prop_assert_eq!(s.node_id(c), a);
+    }
+
+    #[test]
+    fn distance_is_a_metric((s, a, b) in shape_and_pair()) {
+        let (ca, cb) = (s.coord(a), s.coord(b));
+        // symmetry
+        prop_assert_eq!(s.distance(ca, cb), s.distance(cb, ca));
+        // identity
+        prop_assert_eq!(s.distance(ca, ca), 0);
+        if a != b {
+            prop_assert!(s.distance(ca, cb) > 0);
+        }
+    }
+
+    #[test]
+    fn distance_triangle_inequality((s, a, b) in shape_and_pair(), c_idx in 0u32..4096) {
+        let c = NodeId(c_idx % s.num_nodes());
+        let (ca, cb, cc) = (s.coord(a), s.coord(b), s.coord(c));
+        prop_assert!(s.distance(ca, cb) <= s.distance(ca, cc) + s.distance(cc, cb));
+    }
+
+    #[test]
+    fn signed_delta_is_shortest((s, a, b) in shape_and_pair()) {
+        let (ca, cb) = (s.coord(a), s.coord(b));
+        for dim in Dim::ALL {
+            let d = s.signed_delta(ca, cb, dim);
+            let ext = s.extent(dim) as i32;
+            prop_assert!(d.abs() <= ext / 2, "delta {d} too long for extent {ext}");
+            // Walking |d| hops in sign(d) lands on the target component.
+            let landed = (ca.get(dim) as i32 + d).rem_euclid(ext) as u16;
+            prop_assert_eq!(landed, cb.get(dim));
+        }
+    }
+
+    #[test]
+    fn deterministic_routes_chain_and_are_minimal((s, a, b) in shape_and_pair()) {
+        for zone in [Zone::Z2, Zone::Z3] {
+            let r = route(&s, a, b, zone);
+            let mut cur = a;
+            for l in &r.links {
+                prop_assert_eq!(l.node(), cur);
+                cur = link_target(&s, *l);
+            }
+            prop_assert_eq!(cur, b);
+            prop_assert_eq!(r.hops() as u32, s.distance(s.coord(a), s.coord(b)));
+        }
+    }
+
+    #[test]
+    fn route_links_are_unique((s, a, b) in shape_and_pair()) {
+        let r = route(&s, a, b, Zone::Z2);
+        let mut links = r.links.clone();
+        links.sort();
+        links.dedup();
+        prop_assert_eq!(links.len(), r.links.len(), "a minimal route never repeats a link");
+    }
+
+    #[test]
+    fn randomized_routes_are_minimal((s, a, b) in shape_and_pair(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for zone in [Zone::Z0, Zone::Z1] {
+            let r = route_with_rng(&s, a, b, zone, &mut rng);
+            prop_assert_eq!(r.hops() as u32, s.distance(s.coord(a), s.coord(b)));
+        }
+    }
+
+    #[test]
+    fn neighbor_is_involutive_for_large_rings((_s, _, _) in shape_and_pair()) {
+        // Use a fixed shape with all extents > 2 so +d then -d returns.
+        let s = Shape::new(4, 4, 4, 4, 4);
+        for node in [NodeId(0), NodeId(5), NodeId(100)] {
+            let c = s.coord(node);
+            for dir in Direction::all() {
+                let back = s.neighbor(s.neighbor(c, dir), dir.opposite());
+                prop_assert_eq!(back, c);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_map_round_trip(rpn in 1u32..=16, order_t in 0u8..2) {
+        let order = if order_t == 0 { MapOrder::AbcdeT } else { MapOrder::TAbcde };
+        let m = RankMap::new(Shape::new(2, 2, 4, 4, 2), rpn, order);
+        for r in m.ranks() {
+            prop_assert_eq!(m.rank_at(m.node_of(r), m.slot_of(r)), r);
+        }
+    }
+}
+
+#[test]
+fn pset_layout_partitions_all_standard_shapes() {
+    for n in STANDARD_SIZES {
+        let shape = standard_shape(n).unwrap();
+        let layout = IoLayout::new(shape);
+        let mut count = 0u32;
+        for p in 0..layout.num_psets() {
+            count += layout.pset_nodes(PsetId(p)).count() as u32;
+        }
+        assert_eq!(count, shape.num_nodes());
+    }
+}

@@ -1,0 +1,119 @@
+//! A HACC-like I/O workload (paper §VI).
+//!
+//! HACC (Hardware/Hybrid Accelerated Cosmology Code) periodically writes
+//! particle data. The paper's benchmark writes **10% of the generated
+//! data** — between 2 GB (8,192 cores) and 85 GB (131,072 cores) — and
+//! only from the MPI ranks in the window
+//! `[4·N/10, 5·N/10)` of the `N`-rank job. Only this I/O footprint matters
+//! to the experiment, so we generate exactly it: a per-rank byte vector
+//! that is zero outside the writer window and uniform inside it.
+
+/// Bytes of one HACC particle record (position, velocity, potential, id,
+/// mask: 9 × 4-byte fields + 2 bytes).
+pub const PARTICLE_BYTES: u64 = 38;
+
+/// Total bytes the benchmark writes at a given core count, interpolating
+/// the paper's endpoints (2 GB at 8,192 cores, 85 GB at 131,072 cores)
+/// with a power law: `2 GB · (cores / 8192)^1.352`.
+pub fn total_write_bytes(cores: u32) -> u64 {
+    assert!(cores > 0);
+    let base = 2.0e9;
+    let exp = (85.0f64 / 2.0).ln() / 16.0f64.ln();
+    (base * (cores as f64 / 8192.0).powf(exp)) as u64
+}
+
+/// The writer window `[4N/10, 5N/10)` of the paper.
+pub fn writer_range(num_ranks: u32) -> std::ops::Range<u32> {
+    (4 * num_ranks / 10)..(5 * num_ranks / 10)
+}
+
+/// Per-rank write sizes for the HACC I/O benchmark: `total` bytes spread
+/// evenly over the writer window (remainder to the first writers), zero
+/// elsewhere.
+pub fn hacc_sizes(num_ranks: u32, total: u64) -> Vec<u64> {
+    let range = writer_range(num_ranks);
+    let writers = (range.end - range.start).max(1) as u64;
+    let base = total / writers;
+    let rem = total % writers;
+    (0..num_ranks)
+        .map(|r| {
+            if range.contains(&r) {
+                let idx = (r - range.start) as u64;
+                base + u64::from(idx < rem)
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the paper's configuration for a core count (10% of data,
+/// writers in the 40–50% rank window).
+pub fn hacc_workload(cores: u32) -> Vec<u64> {
+    hacc_sizes(cores, total_write_bytes(cores))
+}
+
+/// Number of particles a given write represents.
+pub fn particles_for(bytes: u64) -> u64 {
+    bytes / PARTICLE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_endpoints() {
+        let lo = total_write_bytes(8192);
+        let hi = total_write_bytes(131072);
+        assert!((1.9e9..=2.1e9).contains(&(lo as f64)), "{lo}");
+        assert!((8.3e10..=8.7e10).contains(&(hi as f64)), "{hi}");
+    }
+
+    #[test]
+    fn totals_grow_monotonically() {
+        let mut prev = 0;
+        for cores in [8192u32, 16384, 32768, 65536, 131072] {
+            let t = total_write_bytes(cores);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn writers_are_the_paper_window() {
+        let n = 1000;
+        let r = writer_range(n);
+        assert_eq!(r, 400..500);
+        let sizes = hacc_sizes(n, 1_000_000);
+        for (i, &s) in sizes.iter().enumerate() {
+            if (400..500).contains(&(i as u32)) {
+                assert!(s > 0, "writer {i} has no data");
+            } else {
+                assert_eq!(s, 0, "non-writer {i} has data");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_sum_to_total_exactly() {
+        for total in [0u64, 1, 999, 1_000_000, 12_345_678] {
+            let sizes = hacc_sizes(1234, total);
+            assert_eq!(sizes.iter().sum::<u64>(), total);
+        }
+    }
+
+    #[test]
+    fn exactly_ten_percent_of_ranks_write() {
+        let sizes = hacc_workload(131072);
+        let writers = sizes.iter().filter(|&&s| s > 0).count();
+        // [4N/10, 5N/10) with integer division: 65536 - 52428 = 13108.
+        assert_eq!(writers, 13108);
+    }
+
+    #[test]
+    fn particle_accounting() {
+        assert_eq!(particles_for(380), 10);
+        assert_eq!(particles_for(0), 0);
+    }
+}

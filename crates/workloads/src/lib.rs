@@ -1,0 +1,36 @@
+//! # bgq-workloads
+//!
+//! Workload generators for the sparse-data-movement experiments of Bui et
+//! al. (ICPP 2014):
+//!
+//! * [`patterns`] — the §V.B microbenchmark patterns: pattern 1 (uniform
+//!   sizes, ≈50% of dense; Fig. 8), pattern 2 (zero-inflated Pareto, ≈20%
+//!   of dense; Fig. 9), the dense baseline, and histograms;
+//! * [`hacc`] — the §VI HACC I/O footprint (10% of generated data written
+//!   by ranks in `[0.4N, 0.5N)`);
+//! * [`nodes`] — coalescing per-rank volumes to per-node volumes under a
+//!   rank mapping.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! ```
+//! use bgq_workloads::{pareto_sizes, sparsity_fraction, ParetoParams};
+//! let sizes = pareto_sizes(1024, &ParetoParams::default(), 42);
+//! let frac = sparsity_fraction(&sizes, 8 << 20);
+//! assert!(frac > 0.1 && frac < 0.3); // pattern 2 is ~20% of dense
+//! ```
+
+pub mod coupled;
+pub mod hacc;
+pub mod nodes;
+pub mod patterns;
+pub mod roi;
+
+pub use coupled::{coupling_bytes, coupling_pairs, partition_modules, ModuleLayout};
+pub use hacc::{hacc_sizes, hacc_workload, total_write_bytes, writer_range, PARTICLE_BYTES};
+pub use nodes::{coalesce_to_nodes, nonzero_nodes};
+pub use patterns::{
+    dense_sizes, pareto_sizes, sparsity_fraction, uniform_sizes, Histogram, ParetoParams,
+    DEFAULT_MAX_BYTES,
+};
+pub use roi::{centered_roi_sizes, random_regions, region_sizes, Region};

@@ -1,0 +1,100 @@
+//! Rank-level to node-level workload coalescing.
+//!
+//! The simulator moves data between *nodes*; workloads are defined per
+//! *rank* (16 ranks per node on Mira). Ranks on the same node share the
+//! node's injection hardware, so for transfer planning their volumes
+//! coalesce into a single per-node volume — exactly what the MPI-IO layers
+//! on BG/Q do before data leaves a node.
+
+use bgq_torus::{NodeId, RankMap};
+
+/// Sum per-rank sizes into per-node volumes (ordered by node id; nodes
+/// with zero bytes are included so callers can see the full distribution).
+///
+/// # Panics
+/// Panics if `rank_sizes` does not have exactly one entry per rank.
+pub fn coalesce_to_nodes(map: &RankMap, rank_sizes: &[u64]) -> Vec<(NodeId, u64)> {
+    assert_eq!(
+        rank_sizes.len() as u32,
+        map.num_ranks(),
+        "one size per rank required"
+    );
+    let mut per_node = vec![0u64; map.shape().num_nodes() as usize];
+    for (r, &size) in rank_sizes.iter().enumerate() {
+        let node = map.node_of(bgq_torus::Rank(r as u32));
+        per_node[node.index()] += size;
+    }
+    per_node
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| (NodeId(i as u32), b))
+        .collect()
+}
+
+/// Per-node volumes with the zero-byte nodes dropped.
+pub fn nonzero_nodes(map: &RankMap, rank_sizes: &[u64]) -> Vec<(NodeId, u64)> {
+    coalesce_to_nodes(map, rank_sizes)
+        .into_iter()
+        .filter(|&(_, b)| b > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_torus::{standard_shape, MapOrder, RankMap};
+
+    fn map() -> RankMap {
+        RankMap::default_map(standard_shape(128).unwrap(), 16)
+    }
+
+    #[test]
+    fn coalescing_conserves_bytes() {
+        let m = map();
+        let sizes: Vec<u64> = (0..m.num_ranks() as u64).collect();
+        let nodes = coalesce_to_nodes(&m, &sizes);
+        assert_eq!(nodes.len(), 128);
+        let total: u64 = nodes.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn abcdet_coalesces_contiguous_ranks() {
+        let m = map();
+        let mut sizes = vec![0u64; m.num_ranks() as usize];
+        // Ranks 0..16 live on node 0 under ABCDET.
+        for s in sizes.iter_mut().take(16) {
+            *s = 10;
+        }
+        let nodes = coalesce_to_nodes(&m, &sizes);
+        assert_eq!(nodes[0], (NodeId(0), 160));
+        assert!(nodes[1..].iter().all(|&(_, b)| b == 0));
+    }
+
+    #[test]
+    fn tabcde_spreads_ranks() {
+        let m = RankMap::new(standard_shape(128).unwrap(), 16, MapOrder::TAbcde);
+        let mut sizes = vec![0u64; m.num_ranks() as usize];
+        for s in sizes.iter_mut().take(128) {
+            *s = 1;
+        }
+        let nodes = coalesce_to_nodes(&m, &sizes);
+        assert!(nodes.iter().all(|&(_, b)| b == 1), "one rank per node");
+    }
+
+    #[test]
+    fn nonzero_filter_drops_empty_nodes() {
+        let m = map();
+        let mut sizes = vec![0u64; m.num_ranks() as usize];
+        sizes[100] = 5;
+        let nz = nonzero_nodes(&m, &sizes);
+        assert_eq!(nz.len(), 1);
+        assert_eq!(nz[0].1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one size per rank")]
+    fn wrong_length_panics() {
+        coalesce_to_nodes(&map(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Randomized consistency checks: the planner's model-driven decision and
+//! the simulator's measured outcome must agree across random endpoint
+//! pairs and message sizes. This is the contract the paper's decision
+//! procedure ("calculate the message sizes to see if using intermediate
+//! nodes benefits performance", §IV) rests on.
+
+use bgq_sparsemove::core::{plan_direct, plan_via_proxies, DirectReason, MultipathOptions};
+use bgq_sparsemove::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn machine() -> Machine {
+    Machine::new(standard_shape(256).unwrap(), SimConfig::default())
+}
+
+proptest! {
+    // Each case runs a handful of simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn multipath_decisions_win_and_direct_decisions_hold(
+        src in 0u32..256,
+        dst in 0u32..256,
+        exp in 12u32..27, // 4 KB .. 64 MB
+    ) {
+        prop_assume!(src != dst);
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let bytes = 1u64 << exp;
+        let (src, dst) = (NodeId(src), NodeId(dst));
+
+        let mut prog = Program::new(&m);
+        let (handle, decision) = mover.plan_transfer(&mut prog, src, dst, bytes);
+        let t_planned = handle.completed_at(&prog.run());
+        prop_assert!(t_planned.is_finite() && t_planned > 0.0);
+
+        match decision {
+            Decision::Multipath { paths } => {
+                // The rejected alternative (direct) must not have been
+                // meaningfully faster.
+                let mut pd = Program::new(&m);
+                let t_direct = plan_direct(&mut pd, src, dst, bytes)
+                    .completed_at(&pd.run());
+                prop_assert!(
+                    t_planned <= t_direct * 1.05,
+                    "planner chose {paths}-path multipath ({t_planned}) but direct was faster ({t_direct}) for {bytes} B {src}->{dst}"
+                );
+            }
+            Decision::Direct(DirectReason::BelowThreshold) => {
+                // The rejected alternative (multipath with whatever the
+                // search finds) must not have been meaningfully faster.
+                let sel = bgq_sparsemove::core::find_proxies(
+                    m.shape(),
+                    m.zone(),
+                    src,
+                    dst,
+                    &HashSet::new(),
+                    &ProxySearchConfig::default(),
+                );
+                if !sel.is_empty() {
+                    let mut pm = Program::new(&m);
+                    let t_multi = plan_via_proxies(
+                        &mut pm,
+                        src,
+                        dst,
+                        bytes,
+                        &sel.proxies(),
+                        &MultipathOptions::default(),
+                    )
+                    .completed_at(&pm.run());
+                    prop_assert!(
+                        t_planned <= t_multi * 1.05,
+                        "planner went direct ({t_planned}) but multipath was faster ({t_multi}) for {bytes} B {src}->{dst}"
+                    );
+                }
+            }
+            Decision::Direct(DirectReason::NoDisjointPaths) => {
+                // Nothing to compare: the search found no usable paths.
+            }
+        }
+    }
+}
