@@ -1,0 +1,229 @@
+//! Shared command-line handling for the figure harnesses.
+//!
+//! Every binary accepts the same flags, parsed fallibly into a
+//! [`BenchArgs`]:
+//!
+//! * `--csv` — machine-readable output instead of aligned tables;
+//! * `--max-cores N` — cap for the weak-scaling sweeps (fig10/fig11);
+//! * `--coarse` — keep ~8 sizes of the 18-point message-size sweep;
+//! * `--threads N` — worker threads for the parallel fan-out (default:
+//!   the machine's available parallelism);
+//! * `--timing` — print per-point timings and plan-cache counters.
+//!
+//! Arguments that don't start with `--` are collected into
+//! [`BenchArgs::positional`] for binaries that take operands
+//! (`fig10_point`, `sdm`).
+
+use crate::runner::ExperimentSession;
+use crate::table::{paper_size_sweep, Table};
+
+/// Why the command line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag this harness does not know.
+    UnknownFlag(String),
+    /// A flag that needs a value was last on the line.
+    MissingValue(&'static str),
+    /// A flag value that did not parse.
+    BadValue {
+        flag: &'static str,
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(
+                f,
+                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing)"
+            ),
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "{flag} needs a number, got {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed harness options. Construct with [`BenchArgs::parse`] (exits on
+/// bad input, like any CLI) or [`BenchArgs::try_parse`] (reports
+/// [`ArgError`] as a value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    pub csv: bool,
+    pub max_cores: u32,
+    /// Cap on the number of sweep sizes (coarser, faster runs).
+    pub max_sizes: usize,
+    /// Worker threads for [`ExperimentSession`].
+    pub threads: usize,
+    /// Print the per-point timing footer.
+    pub timing: bool,
+    /// Non-flag operands, in order.
+    pub positional: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> BenchArgs {
+        BenchArgs {
+            csv: false,
+            max_cores: 131_072,
+            max_sizes: usize::MAX,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            timing: false,
+            positional: Vec::new(),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse the process arguments, printing the error and exiting with
+    /// status 2 on bad input.
+    pub fn parse() -> BenchArgs {
+        match BenchArgs::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse an explicit argument list (no program name).
+    pub fn try_parse<I>(args: I) -> Result<BenchArgs, ArgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--csv" => out.csv = true,
+                "--coarse" => out.max_sizes = 8,
+                "--timing" => out.timing = true,
+                "--max-cores" => {
+                    out.max_cores = parse_value("--max-cores", it.next())?;
+                }
+                "--threads" => {
+                    out.threads = parse_value("--threads", it.next())?;
+                    out.threads = out.threads.max(1);
+                }
+                other if other.starts_with("--") => {
+                    return Err(ArgError::UnknownFlag(other.to_string()));
+                }
+                _ => out.positional.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The paper's size sweep, optionally coarsened (endpoints kept).
+    pub fn sizes(&self) -> Vec<u64> {
+        let all = paper_size_sweep();
+        if all.len() <= self.max_sizes {
+            return all;
+        }
+        let step = all.len().div_ceil(self.max_sizes);
+        let mut v: Vec<u64> = all.iter().copied().step_by(step).collect();
+        if v.last() != all.last() {
+            v.push(*all.last().unwrap());
+        }
+        v
+    }
+
+    /// An [`ExperimentSession`] configured from these flags.
+    pub fn session(&self) -> ExperimentSession {
+        ExperimentSession::new(self.threads).with_timing(self.timing)
+    }
+
+    /// Print a table in the configured format.
+    pub fn emit(&self, t: &Table) {
+        if self.csv {
+            print!("{}", t.to_csv());
+        } else {
+            print!("{}", t.render());
+        }
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(
+    flag: &'static str,
+    value: Option<String>,
+) -> Result<T, ArgError> {
+    let value = value.ok_or(ArgError::MissingValue(flag))?;
+    value
+        .parse()
+        .map_err(|_| ArgError::BadValue { flag, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, ArgError> {
+        BenchArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    fn with_sizes(max_sizes: usize) -> BenchArgs {
+        BenchArgs {
+            max_sizes,
+            ..BenchArgs::default()
+        }
+    }
+
+    #[test]
+    fn full_sweep_by_default() {
+        assert_eq!(with_sizes(usize::MAX).sizes(), paper_size_sweep());
+    }
+
+    #[test]
+    fn coarse_sweep_keeps_endpoints() {
+        let s = with_sizes(8).sizes();
+        assert!(s.len() <= 9);
+        assert_eq!(*s.first().unwrap(), 1 << 10);
+        assert_eq!(*s.last().unwrap(), 128 << 20);
+        // Still strictly increasing.
+        for w in s.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--csv", "--coarse", "--threads", "3", "--timing"]).unwrap();
+        assert!(a.csv && a.timing);
+        assert_eq!(a.max_sizes, 8);
+        assert_eq!(a.threads, 3);
+        let a = parse(&["--max-cores", "8192", "pareto", "2048"]).unwrap();
+        assert_eq!(a.max_cores, 8192);
+        assert_eq!(a.positional, vec!["pareto", "2048"]);
+    }
+
+    #[test]
+    fn errors_are_values_not_panics() {
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(ArgError::UnknownFlag("--bogus".into()))
+        );
+        assert_eq!(
+            parse(&["--threads"]),
+            Err(ArgError::MissingValue("--threads"))
+        );
+        assert!(matches!(
+            parse(&["--max-cores", "lots"]),
+            Err(ArgError::BadValue { flag: "--max-cores", .. })
+        ));
+        // Errors render a usable message.
+        let msg = parse(&["--bogus"]).unwrap_err().to_string();
+        assert!(msg.contains("--threads"), "usage lists the flags: {msg}");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(parse(&["--threads", "0"]).unwrap().threads, 1);
+    }
+}

@@ -5,104 +5,31 @@
 //! * proxy count (k = 1..4) on the Fig. 5 pair — the k/2 law in action;
 //! * store-and-forward vs pipelined forwarding (§VII future work);
 //! * aggregator assignment policy (balanced vs pset-local);
-//! * default-aggregator placement (clustered rank-order vs uniform);
 //! * γ sensitivity: the headline results with the penalty off/softer/harder.
+//!
+//! All four tables run through one session, so they share one plan cache
+//! (the proxy searches and the 2,048-core machine are computed once).
 
-use bgq_bench::{ablation_policy_point, Cli, Pattern, Table};
-use bgq_comm::{Machine, Program};
-use bgq_netsim::SimConfig;
-use bgq_torus::{standard_shape, NodeId, Zone};
-use sdm_core::{
-    find_proxies, plan_direct, plan_via_proxies, MultipathOptions, ProxySearchConfig,
+use bgq_bench::experiments::{
+    AblationForwarding, AblationPolicy, AblationProxyCount, GammaSensitivity,
 };
-use std::collections::HashSet;
-
-const PAIR_BYTES: u64 = 64 << 20;
-
-fn pair_times(machine: &Machine, k: usize, opts: &MultipathOptions) -> (f64, f64) {
-    let (src, dst) = (NodeId(0), NodeId(127));
-    let mut pd = Program::new(machine);
-    let t_direct = plan_direct(&mut pd, src, dst, PAIR_BYTES).completed_at(&pd.run());
-    let px = find_proxies(
-        machine.shape(),
-        Zone::Z2,
-        src,
-        dst,
-        &HashSet::new(),
-        &ProxySearchConfig {
-            min_proxies: 1,
-            max_proxies: k,
-            ..Default::default()
-        },
-    )
-    .proxies();
-    let mut pm = Program::new(machine);
-    let t_multi =
-        plan_via_proxies(&mut pm, src, dst, PAIR_BYTES, &px, opts).completed_at(&pm.run());
-    (t_direct, t_multi)
-}
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+    let args = BenchArgs::parse();
+    let session = args.session();
 
     println!("Ablation: proxy count (64 MB pair transfer, 128-node partition)");
-    let mut t = Table::new(&["k", "speedup over direct", "k/2 prediction"]);
-    for k in 1..=4usize {
-        let (d, m) = pair_times(&machine, k, &MultipathOptions::default());
-        t.row(vec![
-            k.to_string(),
-            format!("{:.2}x", d / m),
-            format!("{:.1}x", k as f64 / 2.0),
-        ]);
-    }
-    cli.emit(&t);
+    session.report(&AblationProxyCount, args.csv);
 
     println!("\nAblation: forwarding strategy (64 MB, 4 proxies)");
-    let mut t = Table::new(&["strategy", "time (ms)", "speedup over direct"]);
-    for (label, opts) in [
-        ("store-and-forward (paper)", MultipathOptions::default()),
-        (
-            "pipelined 1 MB sub-chunks (paper §VII)",
-            MultipathOptions {
-                pipeline_chunk: Some(1 << 20),
-                ..Default::default()
-            },
-        ),
-    ] {
-        let (d, m) = pair_times(&machine, 4, &opts);
-        t.row(vec![
-            label.to_string(),
-            format!("{:.2}", m * 1e3),
-            format!("{:.2}x", d / m),
-        ]);
-    }
-    cli.emit(&t);
+    session.report(&AblationForwarding, args.csv);
 
     println!("\nAblation: aggregator assignment policy (pattern 2, 2,048 cores)");
-    let (balanced, local) = ablation_policy_point(2048, Pattern::Pareto, 7);
-    let mut t = Table::new(&["policy", "GB/s"]);
-    t.row(vec!["balanced over all IONs (paper)".into(), format!("{:.3}", balanced / 1e9)]);
-    t.row(vec!["pset-local".into(), format!("{:.3}", local / 1e9)]);
-    cli.emit(&t);
+    session.report(&AblationPolicy, args.csv);
 
     println!("\nSensitivity: contention penalty γ (headline pair speedup, 4 proxies)");
-    let mut t = Table::new(&["γ (floor 0.7)", "direct GB/s", "4-proxy GB/s", "speedup"]);
-    for gamma in [0.0, 0.05, 0.1, 0.2] {
-        let cfg = SimConfig {
-            contention_penalty: gamma,
-            ..SimConfig::default()
-        };
-        let m = Machine::new(standard_shape(128).unwrap(), cfg);
-        let (d, mu) = pair_times(&m, 4, &MultipathOptions::default());
-        t.row(vec![
-            format!("{gamma:.2}"),
-            format!("{:.3}", PAIR_BYTES as f64 / d / 1e9),
-            format!("{:.3}", PAIR_BYTES as f64 / mu / 1e9),
-            format!("{:.2}x", d / mu),
-        ]);
-    }
-    cli.emit(&t);
+    session.report(&GammaSensitivity, args.csv);
     println!(
         "\n[the headline 2x is γ-independent because the selected proxy paths are\n \
          link-disjoint; γ only prices paths that overlap (Figs. 6/7/10)]"

@@ -5,55 +5,11 @@
 //! Explains the proxy-count limits behind Figures 5–7: the k/2 speedup
 //! only materializes up to the pair's topological diversity.
 
-use bgq_bench::{Cli, Table};
-use bgq_torus::{standard_shape, NodeId, Zone};
-use sdm_core::{diversity_report, find_proxies, CostModel, ProxySearchConfig};
-use std::collections::HashSet;
+use bgq_bench::experiments::Diversity;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let model = CostModel::bgq_defaults();
-
+    let args = BenchArgs::parse();
     println!("Link-disjoint single-proxy path diversity (corner-to-corner pairs)");
-    let mut t = Table::new(&[
-        "partition",
-        "shape",
-        "heuristic proxies",
-        "exhaustive disjoint",
-        "ceiling (2L)",
-        "mean detour hops",
-        "k/2 potential",
-    ]);
-    for nodes in [128u32, 256, 512, 1024, 2048] {
-        let shape = standard_shape(nodes).unwrap();
-        let (src, dst) = (NodeId(0), NodeId(shape.num_nodes() - 1));
-        let heuristic = find_proxies(
-            &shape,
-            Zone::Z2,
-            src,
-            dst,
-            &HashSet::new(),
-            &ProxySearchConfig::default(),
-        )
-        .len();
-        let r = diversity_report(&shape, Zone::Z2, src, dst);
-        t.row(vec![
-            nodes.to_string(),
-            shape.to_string(),
-            heuristic.to_string(),
-            r.disjoint_paths.to_string(),
-            r.upper_bound.to_string(),
-            format!("{:.1}", r.mean_detour_hops),
-            format!(
-                "{:.1}x",
-                CostModel::asymptotic_speedup(r.disjoint_paths as u32)
-            ),
-        ]);
-    }
-    cli.emit(&t);
-    println!(
-        "\nmodel: k proxies -> k/2 speedup above the threshold (Eq. 5); \
-         4-proxy threshold = {} KB",
-        model.threshold_bytes(4).unwrap() >> 10
-    );
+    args.session().report(&Diversity::default(), args.csv);
 }

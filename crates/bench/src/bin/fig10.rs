@@ -7,42 +7,17 @@
 //! at 131,072; pattern 2 improves ~1.5x growing to ~2x.
 //!
 //! The full sweep simulates up to 8,192 nodes and takes a while; use
-//! `--max-cores 16384` for a quick run.
+//! `--max-cores 16384` for a quick run, and `--threads N` to fan the
+//! points across workers.
 
-use bgq_bench::{fig10_point, fig10_scales, fmt_gbs, Cli, Pattern, Table};
+use bgq_bench::experiments::Fig10;
+use bgq_bench::{fig10_scales, BenchArgs};
 
 fn main() {
-    let cli = Cli::parse();
-    let scales = fig10_scales(cli.max_cores);
-
+    let args = BenchArgs::parse();
     println!("Figure 10: aggregation throughput to ION /dev/null (weak scaling)");
-    let mut t = Table::new(&[
-        "cores",
-        "pattern",
-        "data GB",
-        "ours GB/s",
-        "MPI coll. I/O GB/s",
-        "improvement",
-    ]);
-    for pattern in [Pattern::Uniform, Pattern::Pareto] {
-        for &cores in &scales {
-            let p = fig10_point(cores, pattern, 20140900 + cores as u64);
-            t.row(vec![
-                cores.to_string(),
-                pattern.label().to_string(),
-                format!("{:.1}", p.total_bytes as f64 / 1e9),
-                fmt_gbs(p.ours),
-                fmt_gbs(p.baseline),
-                format!("{:.2}x", p.ours / p.baseline),
-            ]);
-            // Stream rows as they complete (large points take minutes).
-            if !cli.csv {
-                eprintln!("done: {} {}", pattern.label(), cores);
-            }
-        }
-    }
-    cli.emit(&t);
-    println!(
-        "\n[paper: pattern 1 improvement 2x -> 3x with scale; pattern 2 improvement 1.5x -> 2x]"
-    );
+    let exp = Fig10 {
+        scales: fig10_scales(args.max_cores),
+    };
+    args.session().report(&exp, args.csv);
 }

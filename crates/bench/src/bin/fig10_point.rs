@@ -8,11 +8,12 @@
 //! Uses the same seeds as the `fig10`/`fig11` binaries, so rows compose
 //! into the same tables.
 
-use bgq_bench::{fig10_point, fig11_point, Pattern};
+use bgq_bench::experiments::fig10_seed;
+use bgq_bench::{fig10_point_with, fig11_point_with, BenchArgs, Pattern, PlanCache};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cores, pattern) = match (args.first(), args.get(1)) {
+    let args = BenchArgs::parse();
+    let (cores, pattern) = match (args.positional.first(), args.positional.get(1)) {
         (Some(c), Some(p)) => (
             c.parse::<u32>().unwrap_or_else(|_| {
                 eprintln!("bad core count {c:?}");
@@ -25,10 +26,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let cache = PlanCache::new();
     let p = match pattern.as_str() {
-        "uniform" => fig10_point(cores, Pattern::Uniform, 20140900 + cores as u64),
-        "pareto" => fig10_point(cores, Pattern::Pareto, 20140900 + cores as u64),
-        "hacc" => fig11_point(cores),
+        "uniform" => fig10_point_with(&cache, cores, Pattern::Uniform, fig10_seed(cores)),
+        "pareto" => fig10_point_with(&cache, cores, Pattern::Pareto, fig10_seed(cores)),
+        "hacc" => fig11_point_with(&cache, cores),
         other => {
             eprintln!("unknown pattern {other:?}");
             std::process::exit(2);

@@ -6,33 +6,14 @@
 //! ranks in `[0.4N, 0.5N)`; dynamic aggregator selection yields up to 50%
 //! higher throughput.
 
-use bgq_bench::{fig11_point, fig11_scales, fmt_gbs, Cli, Table};
+use bgq_bench::experiments::Fig11;
+use bgq_bench::{fig11_scales, BenchArgs};
 
 fn main() {
-    let cli = Cli::parse();
-    let scales = fig11_scales(cli.max_cores);
-
+    let args = BenchArgs::parse();
     println!("Figure 11: HACC I/O write throughput to ION /dev/null");
-    let mut t = Table::new(&[
-        "cores",
-        "data GB",
-        "custom aggregators GB/s",
-        "default MPI coll. I/O GB/s",
-        "improvement",
-    ]);
-    for &cores in &scales {
-        let p = fig11_point(cores);
-        t.row(vec![
-            cores.to_string(),
-            format!("{:.1}", p.total_bytes as f64 / 1e9),
-            fmt_gbs(p.ours),
-            fmt_gbs(p.baseline),
-            format!("{:.2}x", p.ours / p.baseline),
-        ]);
-        if !cli.csv {
-            eprintln!("done: {cores}");
-        }
-    }
-    cli.emit(&t);
-    println!("\n[paper: up to ~1.5x improvement from dynamic aggregator selection]");
+    let exp = Fig11 {
+        scales: fig11_scales(args.max_cores),
+    };
+    args.session().report(&exp, args.csv);
 }

@@ -5,36 +5,11 @@
 //! `+B, +C, +D, +E` reach ≈3.2 GB/s (2x); the crossover sits at
 //! (256 KB, 1.4 GB/s).
 
-use bgq_bench::{crossover, fig5_sweep, fmt_bytes, fmt_gbs, Cli, Table};
+use bgq_bench::experiments::Fig5;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let sizes = cli.sizes();
-    let points = fig5_sweep(&sizes);
-
+    let args = BenchArgs::parse();
     println!("Figure 5: point-to-point PUT throughput w & w/o proxies (2x2x4x4x2, 128 nodes)");
-    let mut t = Table::new(&["size", "direct GB/s", "4 proxies GB/s", "speedup"]);
-    for p in &points {
-        t.row(vec![
-            fmt_bytes(p.bytes),
-            fmt_gbs(p.direct),
-            fmt_gbs(p.multipath),
-            format!("{:.2}", p.multipath / p.direct),
-        ]);
-    }
-    cli.emit(&t);
-
-    if let Some((bytes, thr)) = crossover(&points) {
-        println!(
-            "\ncrossover: ({}, {} GB/s)   [paper: (256K, 1.4 GB/s)]",
-            fmt_bytes(bytes),
-            fmt_gbs(thr)
-        );
-    }
-    let last = points.last().unwrap();
-    println!(
-        "plateau: direct {} GB/s [paper ~1.6], proxies {} GB/s [paper ~3.2]",
-        fmt_gbs(last.direct),
-        fmt_gbs(last.multipath)
-    );
+    args.session().report(&Fig5 { sizes: args.sizes() }, args.csv);
 }

@@ -5,38 +5,13 @@
 //! ≈1.58 GB/s to ≈2.4 GB/s (1.5x, the k/2 prediction for k = 3); the
 //! crossover sits at (512 KB, 1.58 GB/s).
 
-use bgq_bench::{crossover, fig6_sweep, fmt_bytes, fmt_gbs, Cli, Table};
+use bgq_bench::experiments::Fig6;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let sizes = cli.sizes();
-    let points = fig6_sweep(&sizes);
-
+    let args = BenchArgs::parse();
     println!(
         "Figure 6: PUT throughput w & w/o proxies between 2 groups of 256 nodes (4x4x4x16x2, 2K nodes)"
     );
-    let mut t = Table::new(&["size", "direct GB/s", "3 proxy groups GB/s", "speedup"]);
-    for p in &points {
-        t.row(vec![
-            fmt_bytes(p.bytes),
-            fmt_gbs(p.direct),
-            fmt_gbs(p.multipath),
-            format!("{:.2}", p.multipath / p.direct),
-        ]);
-    }
-    cli.emit(&t);
-
-    if let Some((bytes, thr)) = crossover(&points) {
-        println!(
-            "\ncrossover: ({}, {} GB/s)   [paper: (512K, 1.58 GB/s)]",
-            fmt_bytes(bytes),
-            fmt_gbs(thr)
-        );
-    }
-    let last = points.last().unwrap();
-    println!(
-        "plateau: direct {} GB/s [paper ~1.6], proxy groups {} GB/s [paper ~2.4]",
-        fmt_gbs(last.direct),
-        fmt_gbs(last.multipath)
-    );
+    args.session().report(&Fig6 { sizes: args.sizes() }, args.csv);
 }

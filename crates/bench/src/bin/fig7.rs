@@ -12,35 +12,13 @@
 //! series shares one link between two of its paths and lands below the
 //! ideal 2x — the qualitative ordering (2 < 3 ≤ 4, 5 drops) is preserved.
 
-use bgq_bench::{fig7_sweep, fmt_bytes, fmt_gbs, Cli, Table};
+use bgq_bench::experiments::Fig7;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let sizes = cli.sizes();
-    let (baseline, series) = fig7_sweep(&sizes);
-
+    let args = BenchArgs::parse();
     println!(
         "Figure 7: PUT throughput vs number of proxy groups (2 groups of 32 nodes, 4x4x4x4x2)"
     );
-    let mut header: Vec<String> = vec!["size".into(), "no proxies".into()];
-    header.extend(series.iter().map(|s| s.label.clone()));
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(&header_refs);
-    for (i, &bytes) in sizes.iter().enumerate() {
-        let mut row = vec![fmt_bytes(bytes), fmt_gbs(baseline[i])];
-        row.extend(series.iter().map(|s| fmt_gbs(s.throughput[i])));
-        t.row(row);
-    }
-    cli.emit(&t);
-
-    let last = sizes.len() - 1;
-    println!("\nlarge-message speedups over no-proxy baseline:");
-    for s in &series {
-        println!(
-            "  {:<22} {:.2}x",
-            s.label,
-            s.throughput[last] / baseline[last]
-        );
-    }
-    println!("  [paper: 2 groups ~1x, 3 groups ~1.5x, 4 groups ~2x, 5 groups degrade]");
+    args.session().report(&Fig7 { sizes: args.sizes() }, args.csv);
 }

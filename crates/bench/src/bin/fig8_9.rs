@@ -5,45 +5,16 @@
 //! Pattern 2 (Fig. 9): Pareto sizes — most ranks near zero, a small spike
 //! at the 8 MB cap.
 
-use bgq_bench::{Cli, Table};
-use bgq_workloads::{pareto_sizes, uniform_sizes, Histogram, ParetoParams, DEFAULT_MAX_BYTES};
-
-fn print_hist(cli: &Cli, title: &str, sizes: &[u64]) {
-    println!("{title}");
-    let h = Histogram::build(sizes, 1 << 20);
-    let mut t = Table::new(&["bin (MB)", "ranks", "bar"]);
-    for (start, end, count) in h.rows() {
-        let bar = "#".repeat((count as usize) / 8);
-        t.row(vec![
-            format!("{}-{}", start >> 20, end >> 20),
-            count.to_string(),
-            bar,
-        ]);
-    }
-    cli.emit(&t);
-    let total: u64 = sizes.iter().sum();
-    println!(
-        "total data: {:.2} GB ({:.0}% of dense)\n",
-        total as f64 / 1e9,
-        100.0 * bgq_workloads::sparsity_fraction(sizes, DEFAULT_MAX_BYTES)
-    );
-}
+use bgq_bench::experiments::PatternHistogram;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    const RANKS: u32 = 1024;
+    let args = BenchArgs::parse();
+    let session = args.session();
 
-    let p1 = uniform_sizes(RANKS, DEFAULT_MAX_BYTES, 20140901);
-    print_hist(
-        &cli,
-        "Figure 8: Pattern 1 histogram (uniform 0-8MB, 1,024 processes)",
-        &p1,
-    );
+    println!("Figure 8: Pattern 1 histogram (uniform 0-8MB, 1,024 processes)");
+    session.report(&PatternHistogram::fig8(), args.csv);
 
-    let p2 = pareto_sizes(RANKS, &ParetoParams::default(), 20140902);
-    print_hist(
-        &cli,
-        "Figure 9: Pattern 2 histogram (Pareto, 1,024 processes)",
-        &p2,
-    );
+    println!("Figure 9: Pattern 2 histogram (Pareto, 1,024 processes)");
+    session.report(&PatternHistogram::fig9(), args.csv);
 }

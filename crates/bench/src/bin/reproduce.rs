@@ -1,11 +1,17 @@
-//! One-command reproduction: runs every figure harness and writes the
-//! outputs under `results/`. The weak-scaling figures honour
-//! `--max-cores` (default 131,072 — hours of simulation; use
-//! `--max-cores 16384` for a coffee-break run).
+//! One-command reproduction: drives every figure [`Experiment`] through a
+//! shared [`ExperimentSession`] and writes the outputs under `results/`.
+//! The weak-scaling figures honour `--max-cores` (default 131,072 —
+//! hours of simulation; use `--max-cores 16384` for a coffee-break run);
+//! `--threads N` fans independent points across workers and `--timing`
+//! prints per-figure point timings with plan-cache counters.
 //!
-//! `cargo run --release -p bgq-bench --bin reproduce -- --max-cores 16384`
+//! ```text
+//! cargo run --release -p bgq-bench --bin reproduce -- --coarse --max-cores 16384 --threads 4
+//! ```
 
-use bgq_bench::*;
+use bgq_bench::experiments::{Fig10, Fig11, Fig5, Fig6, Fig7};
+use bgq_bench::runner::{Experiment, ExperimentSession};
+use bgq_bench::{fig10_scales, fig11_scales, BenchArgs};
 use std::fs;
 use std::io::Write as _;
 
@@ -17,92 +23,43 @@ fn write_out(name: &str, contents: &str) {
     println!("wrote {path}");
 }
 
-fn sweep_table(points: &[SweepPoint], multipath_label: &str) -> Table {
-    let mut t = Table::new(&["size", "direct GB/s", multipath_label, "speedup"]);
-    for p in points {
-        t.row(vec![
-            fmt_bytes(p.bytes),
-            fmt_gbs(p.direct),
-            fmt_gbs(p.multipath),
-            format!("{:.2}", p.multipath / p.direct),
-        ]);
+/// Run one experiment on the session and write its table (plus footer for
+/// text outputs; CSV files stay machine-readable) to `results/<file>`.
+fn run_to_file<E: Experiment>(session: &ExperimentSession, exp: &E, file: &str, csv: bool) {
+    eprintln!("{}...", exp.name());
+    let run = session.run(exp);
+    let table = run.table(&exp.columns());
+    let mut out = if csv { table.to_csv() } else { table.render() };
+    if !csv {
+        if let Some(footer) = exp.footer(&run.rows) {
+            out.push_str(&footer);
+            out.push('\n');
+        }
     }
-    t
+    if session.timing() {
+        eprint!("{}", session.timing_summary(exp.name(), &run));
+    }
+    write_out(file, &out);
 }
 
 fn main() {
-    let cli = Cli::parse();
-    let sizes = cli.sizes();
+    let args = BenchArgs::parse();
+    let sizes = args.sizes();
+    let session = args.session();
 
-    eprintln!("fig5...");
-    let points = fig5_sweep(&sizes);
-    let mut out = sweep_table(&points, "4 proxies GB/s").render();
-    if let Some((b, thr)) = crossover(&points) {
-        out.push_str(&format!(
-            "\ncrossover: ({}, {} GB/s) [paper: (256K, 1.4)]\n",
-            fmt_bytes(b),
-            fmt_gbs(thr)
-        ));
-    }
-    write_out("fig5.txt", &out);
+    run_to_file(&session, &Fig5 { sizes: sizes.clone() }, "fig5.txt", false);
+    run_to_file(&session, &Fig6 { sizes: sizes.clone() }, "fig6.txt", false);
+    run_to_file(&session, &Fig7 { sizes }, "fig7.txt", false);
 
-    eprintln!("fig6...");
-    let points = fig6_sweep(&sizes);
-    let mut out = sweep_table(&points, "3 proxy groups GB/s").render();
-    if let Some((b, thr)) = crossover(&points) {
-        out.push_str(&format!(
-            "\ncrossover: ({}, {} GB/s) [paper: (512K, 1.58)]\n",
-            fmt_bytes(b),
-            fmt_gbs(thr)
-        ));
-    }
-    write_out("fig6.txt", &out);
-
-    eprintln!("fig7...");
-    let (baseline, series) = fig7_sweep(&sizes);
-    let mut header: Vec<String> = vec!["size".into(), "no proxies".into()];
-    header.extend(series.iter().map(|s| s.label.clone()));
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(&header_refs);
-    for (i, &bytes) in sizes.iter().enumerate() {
-        let mut row = vec![fmt_bytes(bytes), fmt_gbs(baseline[i])];
-        row.extend(series.iter().map(|s| fmt_gbs(s.throughput[i])));
-        t.row(row);
-    }
-    write_out("fig7.txt", &t.render());
-
-    eprintln!("fig10 (up to {} cores)...", cli.max_cores);
-    let mut t = Table::new(&["cores", "pattern", "data GB", "ours GB/s", "baseline GB/s", "improvement"]);
-    for pattern in [Pattern::Uniform, Pattern::Pareto] {
-        for &cores in &fig10_scales(cli.max_cores) {
-            let p = fig10_point(cores, pattern, 20140900 + cores as u64);
-            t.row(vec![
-                cores.to_string(),
-                pattern.label().to_string(),
-                format!("{:.1}", p.total_bytes as f64 / 1e9),
-                fmt_gbs(p.ours),
-                fmt_gbs(p.baseline),
-                format!("{:.2}x", p.ours / p.baseline),
-            ]);
-            eprintln!("  {} {} done", pattern.label(), cores);
-        }
-    }
-    write_out("fig10.csv", &t.to_csv());
-
-    eprintln!("fig11 (up to {} cores)...", cli.max_cores);
-    let mut t = Table::new(&["cores", "data GB", "ours GB/s", "baseline GB/s", "improvement"]);
-    for &cores in &fig11_scales(cli.max_cores) {
-        let p = fig11_point(cores);
-        t.row(vec![
-            cores.to_string(),
-            format!("{:.1}", p.total_bytes as f64 / 1e9),
-            fmt_gbs(p.ours),
-            fmt_gbs(p.baseline),
-            format!("{:.2}x", p.ours / p.baseline),
-        ]);
-        eprintln!("  {cores} done");
-    }
-    write_out("fig11.csv", &t.to_csv());
+    eprintln!("weak scaling up to {} cores...", args.max_cores);
+    let fig10 = Fig10 {
+        scales: fig10_scales(args.max_cores),
+    };
+    run_to_file(&session, &fig10, "fig10.csv", true);
+    let fig11 = Fig11 {
+        scales: fig11_scales(args.max_cores),
+    };
+    run_to_file(&session, &fig11, "fig11.csv", true);
 
     println!(
         "\nremaining harnesses (each prints to stdout):\n  \

@@ -9,13 +9,12 @@
 //! Sizes accept `K`/`M`/`G` suffixes. Every command prints what the
 //! planner decided and what the simulator measured.
 
-use bgq_comm::{Machine, Program};
+use bgq_bench::PlanCache;
+use bgq_comm::Program;
 use bgq_netsim::SimConfig;
 use bgq_torus::{shape_for_cores, standard_shape, NodeId, RankMap, Zone};
 use bgq_workloads::{coalesce_to_nodes, pareto_sizes, uniform_sizes, ParetoParams};
-use sdm_core::{
-    diversity_report, plan_direct, AssignPolicy, IoMoveOptions, SparseMover,
-};
+use sdm_core::{diversity_report, plan_direct, AssignPolicy, IoMoveOptions};
 use std::collections::HashMap;
 
 /// Parse a size like `32M`, `512K`, `1G`, `1048576`.
@@ -60,15 +59,15 @@ fn get<T: std::str::FromStr>(
     }
 }
 
-fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_plan(cache: &PlanCache, flags: &HashMap<String, String>) -> Result<(), String> {
     let nodes: u32 = get(flags, "nodes", 512)?;
     let shape = standard_shape(nodes).ok_or(format!("no standard {nodes}-node partition"))?;
-    let machine = Machine::new(shape, SimConfig::default());
+    let machine = cache.machine(shape, &SimConfig::default());
     let src = NodeId(get(flags, "src", 0u32)?);
     let dst = NodeId(get(flags, "dst", nodes - 1)?);
     let bytes = parse_bytes(flags.get("bytes").map(String::as_str).unwrap_or("32M"))?;
 
-    let mover = SparseMover::new(&machine);
+    let mover = cache.mover(&machine);
     let mut prog = Program::new(&machine);
     let (handle, decision) = mover.plan_transfer(&mut prog, src, dst, bytes);
     let rep = prog.run();
@@ -93,10 +92,10 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_write(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_write(cache: &PlanCache, flags: &HashMap<String, String>) -> Result<(), String> {
     let cores: u32 = get(flags, "cores", 8192)?;
     let shape = shape_for_cores(cores).ok_or(format!("no standard partition for {cores} cores"))?;
-    let machine = Machine::new(shape, SimConfig::default());
+    let machine = cache.machine(shape, &SimConfig::default());
     let map = RankMap::default_map(shape, 16);
     let pattern = flags
         .get("pattern")
@@ -116,7 +115,7 @@ fn cmd_write(flags: &HashMap<String, String>) -> Result<(), String> {
     let data = coalesce_to_nodes(&map, &sizes);
     let total: u64 = data.iter().map(|&(_, b)| b).sum();
 
-    let mover = SparseMover::new(&machine);
+    let mover = cache.mover(&machine);
     let mut prog = Program::new(&machine);
     let opts = IoMoveOptions {
         policy,
@@ -178,9 +177,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let cache = PlanCache::new();
     let result = match cmd.as_str() {
-        "plan" => cmd_plan(&flags),
-        "write" => cmd_write(&flags),
+        "plan" => cmd_plan(&cache, &flags),
+        "write" => cmd_write(&cache, &flags),
         "probe" => cmd_probe(&flags),
         other => Err(format!("unknown command {other:?}")),
     };

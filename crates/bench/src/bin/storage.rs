@@ -7,101 +7,11 @@
 //! the topology-aware advantage persists while the file servers have
 //! headroom and compresses once they saturate.
 
-use bgq_bench::{Cli, Table};
-use bgq_comm::{FsParams, Machine, Program};
-use bgq_iosys::{continue_to_storage, plan_collective_write, CollectiveIoConfig, IonChunk};
-use bgq_netsim::SimConfig;
-use bgq_torus::{standard_shape, NodeId, RankMap};
-use bgq_workloads::{coalesce_to_nodes, pareto_sizes, ParetoParams};
-use sdm_core::{IoMoveOptions, SparseMover};
+use bgq_bench::experiments::Storage;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let shape = standard_shape(512).unwrap();
-    let map = RankMap::default_map(shape, 16);
-    let sizes = pareto_sizes(map.num_ranks(), &ParetoParams::default(), 4242);
-
+    let args = BenchArgs::parse();
     println!("Sparse write (pattern 2, 512 nodes): /dev/null vs file servers");
-    let mut t = Table::new(&[
-        "target",
-        "ours GB/s",
-        "MPI coll. I/O GB/s",
-        "improvement",
-    ]);
-
-    // Aggregate fs ingest scaled to the partition (4/384 of Mira's IONs).
-    let scaled_fs = FsParams {
-        per_ion_bandwidth: 3.2e9,
-        aggregate_bandwidth: 240e9 * 4.0 / 384.0,
-    };
-    let slow_fs = FsParams {
-        per_ion_bandwidth: 3.2e9,
-        aggregate_bandwidth: 1.0e9,
-    };
-
-    for (label, fs) in [
-        ("/dev/null (paper)", None),
-        ("GPFS share (4 IONs)", Some(scaled_fs)),
-        ("saturated fs (1 GB/s)", Some(slow_fs)),
-    ] {
-        let mut machine = Machine::new(shape, SimConfig::default());
-        if let Some(fs) = fs.clone() {
-            machine = machine.with_filesystem(fs);
-        }
-        let data = coalesce_to_nodes(&map, &sizes);
-        let layout = machine.io_layout().clone();
-
-        // Ours.
-        let mover = SparseMover::new(&machine);
-        let mut prog = Program::new(&machine);
-        let plan = mover.plan_sparse_write(&mut prog, &data, &IoMoveOptions::default());
-        let ours = if fs.is_some() {
-            let chunks: Vec<IonChunk> = plan
-                .assignments
-                .iter()
-                .zip(&plan.handle.tokens)
-                .map(|(a, &tok)| IonChunk {
-                    ion: layout.ion_of_pset(layout.pset_of(a.to)),
-                    bytes: a.bytes,
-                    delivered: tok,
-                })
-                .collect();
-            let h = continue_to_storage(&mut prog, &chunks);
-            h.throughput(&prog.run())
-        } else {
-            plan.handle.throughput(&prog.run())
-        };
-
-        // Baseline. (The collective plan's ION chunks are not exposed, so
-        // for the storage variants we conservatively append one fs write
-        // per pset carrying that pset's total, gated on the plan's
-        // completion — a best case for the baseline.)
-        let mut prog = Program::new(&machine);
-        let handle = plan_collective_write(&mut prog, &data, &CollectiveIoConfig::default());
-        let baseline = if fs.is_some() {
-            let total: u64 = data.iter().map(|&(_, b)| b).sum();
-            let per_pset = total / layout.num_psets() as u64;
-            let gate = prog.modeled_sync(NodeId(0), 0.0, handle.tokens.clone());
-            let chunks: Vec<IonChunk> = (0..layout.num_psets())
-                .map(|p| IonChunk {
-                    ion: bgq_torus::IonId(p),
-                    bytes: per_pset,
-                    delivered: gate,
-                })
-                .collect();
-            let h = continue_to_storage(&mut prog, &chunks);
-            let rep = prog.run();
-            handle.bytes as f64 / h.completed_at(&rep)
-        } else {
-            handle.throughput(&prog.run())
-        };
-
-        t.row(vec![
-            label.to_string(),
-            format!("{:.3}", ours / 1e9),
-            format!("{:.3}", baseline / 1e9),
-            format!("{:.2}x", ours / baseline),
-        ]);
-    }
-    cli.emit(&t);
+    args.session().report(&Storage, args.csv);
 }

@@ -3,84 +3,16 @@
 //! message-size threshold per proxy count — next to simulator
 //! measurements for the Fig. 5 setting.
 
-use bgq_bench::{fmt_bytes, Cli, Table};
-use bgq_comm::{Machine, Program};
-use bgq_netsim::SimConfig;
-use bgq_torus::{standard_shape, NodeId, Zone};
-use sdm_core::{
-    find_proxies, plan_direct, plan_via_proxies, CostModel, MultipathOptions, ProxySearchConfig,
-};
-use std::collections::HashSet;
+use bgq_bench::experiments::{ModelThresholds, ModelVsSim};
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
-    let model = CostModel::from_sim_config(machine.config(), machine.mean_hops());
+    let args = BenchArgs::parse();
+    let session = args.session();
 
     println!("Analytical model (Eqs. 1-5): proxy-count thresholds");
-    let mut t = Table::new(&[
-        "k proxies",
-        "threshold (model)",
-        "asymptotic speedup (k/2)",
-        "speedup @128MB (model)",
-    ]);
-    for k in 1..=8u32 {
-        let th = model
-            .threshold_bytes(k)
-            .map(fmt_bytes)
-            .unwrap_or_else(|| "never wins".into());
-        t.row(vec![
-            k.to_string(),
-            th,
-            format!("{:.1}", CostModel::asymptotic_speedup(k)),
-            format!("{:.2}", model.speedup(128 << 20, k)),
-        ]);
-    }
-    cli.emit(&t);
-    println!(
-        "\nminimum beneficial proxies: {}   [paper: k >= 3]",
-        model.min_beneficial_proxies()
-    );
-
-    // Model vs simulator on the Fig. 5 configuration with 4 proxies.
-    let (src, dst) = (NodeId(0), NodeId(127));
-    let proxies = find_proxies(
-        machine.shape(),
-        Zone::Z2,
-        src,
-        dst,
-        &HashSet::new(),
-        &ProxySearchConfig {
-            max_proxies: 4,
-            ..Default::default()
-        },
-    )
-    .proxies();
+    session.report(&ModelThresholds, args.csv);
 
     println!("\nModel vs simulator (2 nodes, 4 proxies, 2x2x4x4x2):");
-    let mut t = Table::new(&[
-        "size",
-        "model direct (ms)",
-        "sim direct (ms)",
-        "model proxies (ms)",
-        "sim proxies (ms)",
-    ]);
-    for bytes in [64 << 10, 256 << 10, 1 << 20, 8 << 20, 64 << 20] {
-        let mut pd = Program::new(&machine);
-        let hd = plan_direct(&mut pd, src, dst, bytes);
-        let sim_direct = hd.completed_at(&pd.run());
-
-        let mut pm = Program::new(&machine);
-        let hm = plan_via_proxies(&mut pm, src, dst, bytes, &proxies, &MultipathOptions::default());
-        let sim_proxy = hm.completed_at(&pm.run());
-
-        t.row(vec![
-            fmt_bytes(bytes),
-            format!("{:.3}", model.direct_time(bytes) * 1e3),
-            format!("{:.3}", sim_direct * 1e3),
-            format!("{:.3}", model.proxy_time(bytes, 4) * 1e3),
-            format!("{:.3}", sim_proxy * 1e3),
-        ]);
-    }
-    cli.emit(&t);
+    session.report(&ModelVsSim, args.csv);
 }

@@ -7,133 +7,11 @@
 //! carrying traffic, mean utilization of active links, and the busiest
 //! resource, for the microbenchmark and I/O scenarios.
 
-use bgq_bench::{Cli, Table};
-use bgq_comm::{Machine, Program};
-use bgq_netsim::{active_fraction, utilization, SimConfig};
-use bgq_torus::{standard_shape, NodeId, RankMap, Zone};
-use bgq_workloads::{coalesce_to_nodes, pareto_sizes, ParetoParams};
-use sdm_core::{
-    find_proxies, plan_direct, plan_via_proxies, IoMoveOptions, MultipathOptions,
-    ProxySearchConfig, SparseMover,
-};
-use std::collections::HashSet;
-
-struct Scenario {
-    name: &'static str,
-    active_links: f64,
-    mean_util: f64,
-    peak_util: f64,
-    gbs: f64,
-}
-
-fn measure(machine: &Machine, build: impl FnOnce(&mut Program<'_>) -> (u64, Vec<bgq_netsim::TransferId>)) -> (f64, f64, f64, f64) {
-    let mut prog = Program::new(machine);
-    let (bytes, tokens) = build(&mut prog);
-    let rep = prog.run();
-    let u = utilization(&rep, &machine.capacities());
-    let t = rep.last_delivery(&tokens);
-    (
-        active_fraction(&rep),
-        u.mean_active_utilization,
-        u.peak_utilization,
-        bytes as f64 / t,
-    )
-}
+use bgq_bench::experiments::Utilization;
+use bgq_bench::BenchArgs;
 
 fn main() {
-    let cli = Cli::parse();
-    let machine = Machine::new(
-        standard_shape(128).unwrap(),
-        SimConfig::default().with_link_stats(),
-    );
-    let (src, dst) = (NodeId(0), NodeId(127));
-    let bytes = 64u64 << 20;
-    let proxies = find_proxies(
-        machine.shape(),
-        Zone::Z2,
-        src,
-        dst,
-        &HashSet::new(),
-        &ProxySearchConfig {
-            max_proxies: 4,
-            ..Default::default()
-        },
-    )
-    .proxies();
-
-    let mut scenarios = Vec::new();
-
-    let (af, mu, pu, gbs) = measure(&machine, |p| {
-        let h = plan_direct(p, src, dst, bytes);
-        (h.bytes, h.tokens)
-    });
-    scenarios.push(Scenario {
-        name: "point-to-point, direct (Fig 2a)",
-        active_links: af,
-        mean_util: mu,
-        peak_util: pu,
-        gbs,
-    });
-
-    let (af, mu, pu, gbs) = measure(&machine, |p| {
-        let h = plan_via_proxies(p, src, dst, bytes, &proxies, &MultipathOptions::default());
-        (h.bytes, h.tokens)
-    });
-    scenarios.push(Scenario {
-        name: "point-to-point, 4 proxies (Fig 2c)",
-        active_links: af,
-        mean_util: mu,
-        peak_util: pu,
-        gbs,
-    });
-
-    // Sparse I/O: default collective vs topology-aware aggregation.
-    let map = RankMap::default_map(*machine.shape(), 16);
-    let data = coalesce_to_nodes(&map, &pareto_sizes(map.num_ranks(), &ParetoParams::default(), 77));
-
-    let (af, mu, pu, gbs) = measure(&machine, |p| {
-        let h = bgq_iosys::plan_collective_write(p, &data, &bgq_iosys::CollectiveIoConfig::default());
-        (h.bytes, h.tokens)
-    });
-    scenarios.push(Scenario {
-        name: "sparse write, MPI collective I/O (Fig 2b)",
-        active_links: af,
-        mean_util: mu,
-        peak_util: pu,
-        gbs,
-    });
-
-    let mover = SparseMover::new(&machine);
-    let (af, mu, pu, gbs) = measure(&machine, |p| {
-        let plan = mover.plan_sparse_write(p, &data, &IoMoveOptions::default());
-        (plan.handle.bytes, plan.handle.tokens)
-    });
-    scenarios.push(Scenario {
-        name: "sparse write, dynamic aggregators (Fig 2d)",
-        active_links: af,
-        mean_util: mu,
-        peak_util: pu,
-        gbs,
-    });
-
+    let args = BenchArgs::parse();
     println!("Resource utilization of sparse data movement (128-node partition)");
-    let mut t = Table::new(&[
-        "scenario",
-        "active links %",
-        "mean util %",
-        "peak util %",
-        "GB/s",
-    ]);
-    for s in &scenarios {
-        t.row(vec![
-            s.name.to_string(),
-            format!("{:.1}", s.active_links * 100.0),
-            format!("{:.1}", s.mean_util * 100.0),
-            format!("{:.1}", s.peak_util * 100.0),
-            format!("{:.3}", s.gbs / 1e9),
-        ]);
-    }
-    cli.emit(&t);
-    println!("\n[paper Fig. 2: default mechanisms leave links/IO nodes idle; proxies and");
-    println!(" uniformly distributed aggregators engage more of them]");
+    args.session().report(&Utilization, args.csv);
 }

@@ -1,11 +1,12 @@
 //! Runners for the I/O experiments: §V.B aggregation (Figure 10) and the
 //! §VI HACC I/O application benchmark (Figure 11).
 
-use bgq_comm::{Machine, Program};
+use crate::runner::PlanCache;
+use bgq_comm::Program;
 use bgq_netsim::SimConfig;
 use bgq_torus::{shape_for_cores, NodeId, RankMap, CORES_PER_NODE};
 use bgq_workloads::{coalesce_to_nodes, hacc_workload, pareto_sizes, uniform_sizes, ParetoParams};
-use sdm_core::{AssignPolicy, IoMoveOptions, SparseMover};
+use sdm_core::{AssignPolicy, IoMoveOptions};
 
 /// The two §V.B data patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,18 +55,19 @@ pub fn sim_chunk_bytes(total: u64, nodes: u32) -> u64 {
     (per_node / 2).clamp(16 << 20, 256 << 20)
 }
 
-/// Run one aggregation experiment (both approaches) for per-rank sizes.
-pub fn run_io_point(cores: u32, rank_sizes: &[u64]) -> IoPoint {
+/// Run one aggregation experiment (both approaches) for per-rank sizes,
+/// reusing `cache`'s machine and aggregator table for the shape.
+pub fn run_io_point_with(cache: &PlanCache, cores: u32, rank_sizes: &[u64]) -> IoPoint {
     let shape = shape_for_cores(cores)
         .unwrap_or_else(|| panic!("no standard partition for {cores} cores"));
-    let machine = Machine::new(shape, SimConfig::default());
+    let machine = cache.machine(shape, &SimConfig::default());
     let map = RankMap::default_map(shape, CORES_PER_NODE);
     let data: Vec<(NodeId, u64)> = coalesce_to_nodes(&map, rank_sizes);
     let total: u64 = data.iter().map(|&(_, b)| b).sum();
     let chunk = sim_chunk_bytes(total, shape.num_nodes());
 
     // Ours: dynamic topology-aware aggregation (Algorithm 2).
-    let mover = SparseMover::new(&machine);
+    let mover = cache.mover(&machine);
     let opts = IoMoveOptions {
         max_chunk: chunk,
         ..Default::default()
@@ -91,39 +93,76 @@ pub fn run_io_point(cores: u32, rank_sizes: &[u64]) -> IoPoint {
     }
 }
 
+/// [`run_io_point_with`] against a private, single-use cache.
+pub fn run_io_point(cores: u32, rank_sizes: &[u64]) -> IoPoint {
+    run_io_point_with(&PlanCache::new(), cores, rank_sizes)
+}
+
 /// One Figure-10 point: weak-scaling aggregation throughput for a pattern.
+pub fn fig10_point_with(cache: &PlanCache, cores: u32, pattern: Pattern, seed: u64) -> IoPoint {
+    run_io_point_with(cache, cores, &pattern_sizes(pattern, cores, seed))
+}
+
+/// [`fig10_point_with`] against a private, single-use cache.
 pub fn fig10_point(cores: u32, pattern: Pattern, seed: u64) -> IoPoint {
-    run_io_point(cores, &pattern_sizes(pattern, cores, seed))
+    fig10_point_with(&PlanCache::new(), cores, pattern, seed)
 }
 
 /// One Figure-11 point: the HACC I/O workload.
-pub fn fig11_point(cores: u32) -> IoPoint {
-    run_io_point(cores, &hacc_workload(cores))
+pub fn fig11_point_with(cache: &PlanCache, cores: u32) -> IoPoint {
+    run_io_point_with(cache, cores, &hacc_workload(cores))
 }
 
-/// Ablation: our aggregation with the pset-local assignment policy
-/// instead of global balancing (quantifies the value of spreading load
-/// over all IONs).
-pub fn ablation_policy_point(cores: u32, pattern: Pattern, seed: u64) -> (f64, f64) {
+/// [`fig11_point_with`] against a private, single-use cache.
+pub fn fig11_point(cores: u32) -> IoPoint {
+    fig11_point_with(&PlanCache::new(), cores)
+}
+
+/// Our aggregation throughput under one assignment policy (the unit of
+/// the policy-ablation table).
+pub fn policy_point_with(
+    cache: &PlanCache,
+    cores: u32,
+    pattern: Pattern,
+    seed: u64,
+    policy: AssignPolicy,
+) -> f64 {
     let shape = shape_for_cores(cores).unwrap();
-    let machine = Machine::new(shape, SimConfig::default());
+    let machine = cache.machine(shape, &SimConfig::default());
     let map = RankMap::default_map(shape, CORES_PER_NODE);
     let data = coalesce_to_nodes(&map, &pattern_sizes(pattern, cores, seed));
     let total: u64 = data.iter().map(|&(_, b)| b).sum();
     let chunk = sim_chunk_bytes(total, shape.num_nodes());
-    let mover = SparseMover::new(&machine);
+    let mover = cache.mover(&machine);
 
-    let run = |policy: AssignPolicy| {
-        let opts = IoMoveOptions {
-            max_chunk: chunk,
-            policy,
-            ..Default::default()
-        };
-        let mut prog = Program::new(&machine);
-        let plan = mover.plan_sparse_write(&mut prog, &data, &opts);
-        plan.handle.throughput(&prog.run())
+    let opts = IoMoveOptions {
+        max_chunk: chunk,
+        policy,
+        ..Default::default()
     };
-    (run(AssignPolicy::BalancedGreedy), run(AssignPolicy::PsetLocal))
+    let mut prog = Program::new(&machine);
+    let plan = mover.plan_sparse_write(&mut prog, &data, &opts);
+    plan.handle.throughput(&prog.run())
+}
+
+/// Ablation: our aggregation with the pset-local assignment policy
+/// instead of global balancing (quantifies the value of spreading load
+/// over all IONs). Returns `(balanced, pset-local)`.
+pub fn ablation_policy_point_with(
+    cache: &PlanCache,
+    cores: u32,
+    pattern: Pattern,
+    seed: u64,
+) -> (f64, f64) {
+    (
+        policy_point_with(cache, cores, pattern, seed, AssignPolicy::BalancedGreedy),
+        policy_point_with(cache, cores, pattern, seed, AssignPolicy::PsetLocal),
+    )
+}
+
+/// [`ablation_policy_point_with`] against a private, single-use cache.
+pub fn ablation_policy_point(cores: u32, pattern: Pattern, seed: u64) -> (f64, f64) {
+    ablation_policy_point_with(&PlanCache::new(), cores, pattern, seed)
 }
 
 /// The paper's weak-scaling core counts for Figure 10 (2,048 → 131,072)

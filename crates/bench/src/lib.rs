@@ -14,108 +14,35 @@
 //! | `fig11` | HACC I/O write throughput vs. default MPI collective I/O |
 //! | `thresholds` | §IV.B cost-model thresholds and speedups |
 //!
-//! The binaries accept an optional `--max-cores N` (for the weak-scaling
-//! figures) and `--csv` to emit machine-readable output.
+//! All binaries share one flag set (see [`BenchArgs`]): `--csv`,
+//! `--max-cores N`, `--coarse`, `--threads N` and `--timing`. Sweeps run
+//! through an [`runner::ExperimentSession`], which fans independent
+//! points across worker threads over a shared [`runner::PlanCache`];
+//! output is bit-identical for any thread count.
 
+pub mod args;
+pub mod experiments;
 pub mod io;
 pub mod micro;
+pub mod runner;
 pub mod table;
 
+pub use args::{ArgError, BenchArgs};
 pub use io::{
-    ablation_policy_point, fig10_point, fig10_scales, fig11_point, fig11_scales, run_io_point,
-    sim_chunk_bytes, IoPoint, Pattern,
+    ablation_policy_point, ablation_policy_point_with, fig10_point, fig10_point_with,
+    fig10_scales, fig11_point, fig11_point_with, fig11_scales, policy_point_with, run_io_point,
+    run_io_point_with, sim_chunk_bytes, IoPoint, Pattern,
 };
-pub use micro::{corner_groups, crossover, fig5_sweep, fig6_sweep, fig7_sweep, SweepPoint};
+pub use micro::{
+    corner_groups, crossover, fig5_point, fig5_sweep, fig6_point, fig6_sweep, fig7_point,
+    fig7_series_labels, fig7_sweep, SweepPoint,
+};
+pub use runner::{CacheStats, Experiment, ExperimentRun, ExperimentSession, PlanCache, Row};
 pub use table::{fmt_bytes, fmt_gbs, paper_size_sweep, Table};
-
-/// Shared tiny CLI: parse `--csv` and `--max-cores N` / `--sizes N` flags.
-#[derive(Debug, Clone)]
-pub struct Cli {
-    pub csv: bool,
-    pub max_cores: u32,
-    /// Optional cap on the number of sweep sizes (coarser, faster runs).
-    pub max_sizes: usize,
-}
-
-impl Cli {
-    pub fn parse() -> Cli {
-        let mut cli = Cli {
-            csv: false,
-            max_cores: 131_072,
-            max_sizes: usize::MAX,
-        };
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--csv" => cli.csv = true,
-                "--max-cores" => {
-                    i += 1;
-                    cli.max_cores = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .expect("--max-cores needs a number");
-                }
-                "--coarse" => cli.max_sizes = 8,
-                other => panic!("unknown flag {other} (supported: --csv, --max-cores N, --coarse)"),
-            }
-            i += 1;
-        }
-        cli
-    }
-
-    /// The paper's size sweep, optionally coarsened to every k-th size.
-    pub fn sizes(&self) -> Vec<u64> {
-        let all = paper_size_sweep();
-        if all.len() <= self.max_sizes {
-            return all;
-        }
-        let step = all.len().div_ceil(self.max_sizes);
-        let mut v: Vec<u64> = all.iter().copied().step_by(step).collect();
-        if v.last() != all.last() {
-            v.push(*all.last().unwrap());
-        }
-        v
-    }
-
-    /// Print a table in the configured format.
-    pub fn emit(&self, t: &Table) {
-        if self.csv {
-            print!("{}", t.to_csv());
-        } else {
-            print!("{}", t.render());
-        }
-    }
-}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn cli(max_sizes: usize) -> Cli {
-        Cli {
-            csv: false,
-            max_cores: 131_072,
-            max_sizes,
-        }
-    }
-
-    #[test]
-    fn full_sweep_by_default() {
-        assert_eq!(cli(usize::MAX).sizes(), paper_size_sweep());
-    }
-
-    #[test]
-    fn coarse_sweep_keeps_endpoints() {
-        let s = cli(8).sizes();
-        assert!(s.len() <= 9);
-        assert_eq!(*s.first().unwrap(), 1 << 10);
-        assert_eq!(*s.last().unwrap(), 128 << 20);
-        // Still strictly increasing.
-        for w in s.windows(2) {
-            assert!(w[1] > w[0]);
-        }
-    }
 
     #[test]
     fn io_pattern_labels() {

@@ -1,13 +1,23 @@
 //! Runners for the microbenchmarks of §V.A (Figures 5, 6 and 7).
+//!
+//! Each figure has a cache-aware per-point function (`fig5_point`,
+//! `fig6_point`, `fig7_point`) — the unit of parallel work for the
+//! [`Experiment`](crate::runner::Experiment) harnesses — plus the
+//! original whole-sweep entry point, kept as a sequential wrapper over a
+//! private [`PlanCache`].
 
+use crate::runner::PlanCache;
 use bgq_comm::{Machine, Program};
 use bgq_netsim::SimConfig;
 use bgq_torus::{standard_shape, Dim, Direction, NodeId, Sign, Zone};
 use sdm_core::{
-    find_proxies, find_proxy_groups, plan_direct, plan_group_direct, plan_group_via,
-    plan_via_proxies, proxy_groups_along, MultipathOptions, ProxyGroup, ProxySearchConfig,
+    plan_direct, plan_group_direct, plan_group_via, plan_via_proxies, proxy_groups_along,
+    MultipathOptions, ProxyGroup, ProxySearchConfig,
 };
 use std::collections::HashSet;
+
+/// A fig6 plane: its sources, its destinations, and their proxy groups.
+type Plane = (Vec<NodeId>, Vec<NodeId>, std::sync::Arc<Vec<ProxyGroup>>);
 
 /// One point of a direct-vs-multipath sweep.
 #[derive(Debug, Clone, Copy)]
@@ -19,43 +29,46 @@ pub struct SweepPoint {
     pub multipath: f64,
 }
 
-/// Figure 5: point-to-point put between the first and last node of the
-/// 128-node `2x2x4x4x2` partition, with and without 4 proxies.
-pub fn fig5_sweep(sizes: &[u64]) -> Vec<SweepPoint> {
-    let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+/// One Figure-5 point: point-to-point put between the first and last node
+/// of the 128-node `2x2x4x4x2` partition, with and without 4 proxies.
+/// The machine and the proxy search are served from `cache`.
+pub fn fig5_point(cache: &PlanCache, bytes: u64) -> SweepPoint {
+    let machine = cache.machine(standard_shape(128).unwrap(), &SimConfig::default());
     let (src, dst) = (NodeId(0), NodeId(127));
     let cfg = ProxySearchConfig {
         max_proxies: 4,
         ..Default::default()
     };
-    let proxies = find_proxies(machine.shape(), Zone::Z2, src, dst, &HashSet::new(), &cfg)
+    let proxies = cache
+        .proxies(machine.shape(), Zone::Z2, src, dst, &HashSet::new(), &cfg)
         .proxies();
     assert!(proxies.len() >= 3, "fig5 partition must support proxies");
 
-    sizes
-        .iter()
-        .map(|&bytes| {
-            let mut pd = Program::new(&machine);
-            let hd = plan_direct(&mut pd, src, dst, bytes);
-            let direct = hd.throughput(&pd.run());
+    let mut pd = Program::new(&machine);
+    let hd = plan_direct(&mut pd, src, dst, bytes);
+    let direct = hd.throughput(&pd.run());
 
-            let mut pm = Program::new(&machine);
-            let hm = plan_via_proxies(
-                &mut pm,
-                src,
-                dst,
-                bytes,
-                &proxies,
-                &MultipathOptions::default(),
-            );
-            let multipath = hm.throughput(&pm.run());
-            SweepPoint {
-                bytes,
-                direct,
-                multipath,
-            }
-        })
-        .collect()
+    let mut pm = Program::new(&machine);
+    let hm = plan_via_proxies(
+        &mut pm,
+        src,
+        dst,
+        bytes,
+        &proxies,
+        &MultipathOptions::default(),
+    );
+    let multipath = hm.throughput(&pm.run());
+    SweepPoint {
+        bytes,
+        direct,
+        multipath,
+    }
+}
+
+/// Figure 5 over a whole size sweep (sequential; see [`fig5_point`]).
+pub fn fig5_sweep(sizes: &[u64]) -> Vec<SweepPoint> {
+    let cache = PlanCache::new();
+    sizes.iter().map(|&b| fig5_point(&cache, b)).collect()
 }
 
 /// The two corner groups of Figures 6 and 7: the first and last
@@ -79,8 +92,8 @@ pub fn corner_groups(machine: &Machine, group_size: u32) -> (Vec<NodeId>, Vec<No
 /// plateaus at the single-path peak (the paper's ≈1.58 GB/s); the
 /// distributed proxy search then runs per `B` plane, where every pair of
 /// a plane shares one uniform displacement.
-pub fn fig6_sweep(sizes: &[u64]) -> Vec<SweepPoint> {
-    let machine = Machine::new(standard_shape(2048).unwrap(), SimConfig::default());
+pub fn fig6_point(cache: &PlanCache, bytes: u64) -> SweepPoint {
+    let machine = cache.machine(standard_shape(2048).unwrap(), &SimConfig::default());
     let n = machine.shape().num_nodes();
     let sources: Vec<NodeId> = (0..256).map(NodeId).collect();
     // The A-opposed slab: same B/C/D/E footprint, A = 3.
@@ -92,54 +105,53 @@ pub fn fig6_sweep(sizes: &[u64]) -> Vec<SweepPoint> {
         (sources[128..].to_vec(), dests[128..].to_vec());
 
     let cfg = ProxySearchConfig::default();
-    let planes: Vec<(Vec<NodeId>, Vec<NodeId>, Vec<ProxyGroup>)> = [plane0, plane1]
-        .into_iter()
-        .map(|(s, d)| {
-            let groups = find_proxy_groups(machine.shape(), Zone::Z2, &s, &d, &cfg);
-            assert!(groups.len() >= 3, "fig6 expects 3 proxy groups per plane");
-            (s, d, groups)
-        })
-        .collect();
+    let planes: Vec<Plane> = [plane0, plane1]
+            .into_iter()
+            .map(|(s, d)| {
+                let groups = cache.proxy_groups(machine.shape(), Zone::Z2, &s, &d, &cfg);
+                assert!(groups.len() >= 3, "fig6 expects 3 proxy groups per plane");
+                (s, d, groups)
+            })
+            .collect();
 
     let npairs = sources.len() as f64;
-    sizes
-        .iter()
-        .map(|&bytes| {
-            let mut pd = Program::new(&machine);
-            let mut direct_tokens = Vec::new();
-            for (s, d, _) in &planes {
-                direct_tokens.extend(plan_group_direct(&mut pd, s, d, bytes).tokens);
-            }
-            let rep = pd.run();
-            let direct =
-                bytes as f64 * npairs / rep.last_delivery(&direct_tokens) / npairs;
+    let mut pd = Program::new(&machine);
+    let mut direct_tokens = Vec::new();
+    for (s, d, _) in &planes {
+        direct_tokens.extend(plan_group_direct(&mut pd, s, d, bytes).tokens);
+    }
+    let rep = pd.run();
+    let direct = bytes as f64 * npairs / rep.last_delivery(&direct_tokens) / npairs;
 
-            let mut pm = Program::new(&machine);
-            let mut multi_tokens = Vec::new();
-            for (s, d, groups) in &planes {
-                multi_tokens.extend(
-                    plan_group_via(
-                        &mut pm,
-                        s,
-                        d,
-                        bytes,
-                        groups,
-                        false,
-                        &MultipathOptions::default(),
-                    )
-                    .tokens,
-                );
-            }
-            let rep = pm.run();
-            let multipath =
-                bytes as f64 * npairs / rep.last_delivery(&multi_tokens) / npairs;
-            SweepPoint {
+    let mut pm = Program::new(&machine);
+    let mut multi_tokens = Vec::new();
+    for (s, d, groups) in &planes {
+        multi_tokens.extend(
+            plan_group_via(
+                &mut pm,
+                s,
+                d,
                 bytes,
-                direct,
-                multipath,
-            }
-        })
-        .collect()
+                groups,
+                false,
+                &MultipathOptions::default(),
+            )
+            .tokens,
+        );
+    }
+    let rep = pm.run();
+    let multipath = bytes as f64 * npairs / rep.last_delivery(&multi_tokens) / npairs;
+    SweepPoint {
+        bytes,
+        direct,
+        multipath,
+    }
+}
+
+/// Figure 6 over a whole size sweep (sequential; see [`fig6_point`]).
+pub fn fig6_sweep(sizes: &[u64]) -> Vec<SweepPoint> {
+    let cache = PlanCache::new();
+    sizes.iter().map(|&b| fig6_point(&cache, b)).collect()
 }
 
 fn group_sweep(
@@ -197,19 +209,53 @@ pub struct Fig7Series {
 /// list, intentionally allowing the link sharing whose effect the figure
 /// demonstrates.
 pub fn fig7_sweep(sizes: &[u64]) -> (Vec<f64>, Vec<Fig7Series>) {
-    let machine = Machine::new(standard_shape(512).unwrap(), SimConfig::default());
-    let (sources, dests) = corner_groups(&machine, 32);
+    let cache = PlanCache::new();
+    let points: Vec<(f64, Vec<f64>)> = sizes.iter().map(|&b| fig7_point(&cache, b)).collect();
+    let baseline: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let series = fig7_series_labels()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, groups_used, include_direct))| Fig7Series {
+            label,
+            groups_used,
+            include_direct,
+            throughput: points.iter().map(|p| p.1[i]).collect(),
+        })
+        .collect();
+    (baseline, series)
+}
 
-    let mut pool = find_proxy_groups(
-        machine.shape(),
-        Zone::Z2,
-        &sources,
-        &dests,
-        &ProxySearchConfig {
-            max_proxies: 4,
-            ..Default::default()
-        },
-    );
+/// The fixed Figure-7 series: `(label, groups used, include direct)`.
+pub fn fig7_series_labels() -> Vec<(String, usize, bool)> {
+    [(2usize, false), (3, false), (4, false), (4, true)]
+        .into_iter()
+        .map(|(count, include_direct)| {
+            let label = if include_direct {
+                "5 groups (4 + direct)".to_string()
+            } else {
+                format!("{count} groups of proxies")
+            };
+            (label, count, include_direct)
+        })
+        .collect()
+}
+
+/// The Figure-7 proxy-group pool: the disjointness-checked search padded
+/// to 4 groups with forced `A±`/`B±` placements.
+fn fig7_pool(cache: &PlanCache, machine: &Machine, sources: &[NodeId], dests: &[NodeId]) -> Vec<ProxyGroup> {
+    let mut pool = cache
+        .proxy_groups(
+            machine.shape(),
+            Zone::Z2,
+            sources,
+            dests,
+            &ProxySearchConfig {
+                max_proxies: 4,
+                ..Default::default()
+            },
+        )
+        .as_ref()
+        .clone();
     // Pad to 4 groups with forced axis placements (the paper's A±/B±
     // directions at offset 1) not already used by the search. These extra
     // groups are not fully link-disjoint — that is the point of the
@@ -231,37 +277,32 @@ pub fn fig7_sweep(sizes: &[u64]) -> (Vec<f64>, Vec<Fig7Series>) {
         {
             continue;
         }
-        pool.extend(proxy_groups_along(machine.shape(), &sources, &[placement]));
+        pool.extend(proxy_groups_along(machine.shape(), sources, &[placement]));
     }
     assert!(pool.len() >= 4);
+    pool
+}
 
-    // Baseline: no proxies.
+/// One Figure-7 point: `(no-proxy baseline, per-series throughput)` at
+/// one message size, in [`fig7_series_labels`] order.
+pub fn fig7_point(cache: &PlanCache, bytes: u64) -> (f64, Vec<f64>) {
+    let machine = cache.machine(standard_shape(512).unwrap(), &SimConfig::default());
+    let (sources, dests) = corner_groups(&machine, 32);
+    let pool = fig7_pool(cache, &machine, &sources, &dests);
+
     let npairs = sources.len() as f64;
-    let baseline: Vec<f64> = sizes
-        .iter()
-        .map(|&bytes| {
-            let mut pd = Program::new(&machine);
-            let hd = plan_group_direct(&mut pd, &sources, &dests, bytes);
-            hd.throughput(&pd.run()) / npairs
+    let mut pd = Program::new(&machine);
+    let hd = plan_group_direct(&mut pd, &sources, &dests, bytes);
+    let baseline = hd.throughput(&pd.run()) / npairs;
+
+    let series = fig7_series_labels()
+        .into_iter()
+        .map(|(_, count, include_direct)| {
+            let groups = &pool[..count];
+            group_sweep(&machine, &sources, &dests, groups, include_direct, &[bytes])[0]
+                .multipath
         })
         .collect();
-
-    let mut series = Vec::new();
-    for (count, include_direct) in [(2usize, false), (3, false), (4, false), (4, true)] {
-        let groups = &pool[..count];
-        let pts = group_sweep(&machine, &sources, &dests, groups, include_direct, sizes);
-        let label = if include_direct {
-            "5 groups (4 + direct)".to_string()
-        } else {
-            format!("{count} groups of proxies")
-        };
-        series.push(Fig7Series {
-            label,
-            groups_used: count,
-            include_direct,
-            throughput: pts.into_iter().map(|p| p.multipath).collect(),
-        });
-    }
     (baseline, series)
 }
 

@@ -71,9 +71,9 @@ impl Table {
 
 /// Format a byte count the way the paper's x-axes do (1K, 512K, 2M, …).
 pub fn fmt_bytes(b: u64) -> String {
-    if b >= 1 << 20 && b % (1 << 20) == 0 {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
         format!("{}M", b >> 20)
-    } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+    } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
         format!("{}K", b >> 10)
     } else {
         format!("{b}")

@@ -1,0 +1,94 @@
+//! The parallel runner's core contract: an [`ExperimentSession`] with N
+//! worker threads produces byte-identical output to a sequential run,
+//! and a [`PlanCache`] hit is indistinguishable from a fresh computation.
+
+use bgq_bench::experiments::{Fig10, Fig5};
+use bgq_bench::{fig10_scales, BenchArgs, Experiment, ExperimentSession, PlanCache};
+use bgq_torus::{standard_shape, NodeId, Zone};
+use proptest::prelude::*;
+use sdm_core::{find_proxies, ProxySearchConfig};
+use std::collections::HashSet;
+
+fn csv_of<E: Experiment>(threads: usize, exp: &E) -> (String, u64) {
+    let session = ExperimentSession::new(threads);
+    let run = session.run(exp);
+    (
+        run.table(&exp.columns()).to_csv(),
+        session.cache().stats().hits,
+    )
+}
+
+#[test]
+fn fig5_csv_identical_across_thread_counts() {
+    let exp = Fig5 {
+        sizes: vec![64 << 10, 1 << 20, 16 << 20, 128 << 20],
+    };
+    let (seq, _) = csv_of(1, &exp);
+    let (par, hits) = csv_of(4, &exp);
+    assert_eq!(seq, par, "4-thread CSV must match sequential byte-for-byte");
+    assert!(hits > 0, "later sizes reuse the cached machine and proxies");
+}
+
+#[test]
+fn fig10_csv_identical_across_thread_counts() {
+    let exp = Fig10 {
+        scales: fig10_scales(2048),
+    };
+    let (seq, _) = csv_of(1, &exp);
+    let (par, hits) = csv_of(3, &exp);
+    assert_eq!(seq, par);
+    // Pattern 2 at a given core count reuses pattern 1's machine and
+    // aggregator table — the weak-scaling figures must show a nonzero
+    // cache hit rate.
+    assert!(hits > 0, "pattern 2 must hit pattern 1's cached plans");
+}
+
+#[test]
+fn timing_summary_reports_cache_counters() {
+    let exp = Fig5 {
+        sizes: vec![64 << 10, 128 << 20],
+    };
+    let session = ExperimentSession::new(2).with_timing(true);
+    let run = session.run(&exp);
+    let summary = session.timing_summary(exp.name(), &run);
+    assert!(summary.contains("plan cache:"), "{summary}");
+    assert!(summary.contains("2 points"), "{summary}");
+    let stats = session.cache().stats();
+    assert!(stats.hit_rate() > 0.0, "{stats:?}");
+}
+
+#[test]
+fn bench_args_session_round_trip() {
+    let args = BenchArgs::try_parse(
+        ["--threads", "4", "--timing"].iter().map(|s| s.to_string()),
+    )
+    .unwrap();
+    let session = args.session();
+    assert_eq!(session.threads(), 4);
+    assert!(session.timing());
+}
+
+proptest! {
+    // A cached proxy search returns exactly what a fresh search would,
+    // for any endpoint pair and proxy budget.
+    #[test]
+    fn cached_proxy_search_equals_fresh(src in 0u32..128, dst in 0u32..128, k in 1usize..=6) {
+        prop_assume!(src != dst);
+        let shape = standard_shape(128).unwrap();
+        let cfg = ProxySearchConfig { min_proxies: 1, max_proxies: k, ..Default::default() };
+        let cache = PlanCache::new();
+        let cached = cache.proxies(
+            &shape, Zone::Z2, NodeId(src), NodeId(dst), &HashSet::new(), &cfg,
+        );
+        let fresh = find_proxies(
+            &shape, Zone::Z2, NodeId(src), NodeId(dst), &HashSet::new(), &cfg,
+        );
+        prop_assert_eq!(cached.proxies(), fresh.proxies());
+        // And the second lookup is a hit returning the same selection.
+        let again = cache.proxies(
+            &shape, Zone::Z2, NodeId(src), NodeId(dst), &HashSet::new(), &cfg,
+        );
+        prop_assert_eq!(again.proxies(), fresh.proxies());
+        prop_assert!(cache.stats().hits >= 1);
+    }
+}

@@ -20,7 +20,7 @@ pub use collectives::{
     binomial_bcast, binomial_reduce, dissemination_barrier, CollectiveModel,
     CONTROL_MSG_BYTES,
 };
-pub use machine::{FsParams, Machine};
+pub use machine::{FsParams, Machine, MachineError};
 pub use program::{Program, TransferHandle};
 pub use scheduled::{binomial_scatter, pairwise_alltoall, ring_allgather};
 pub use subcomm::SubComm;

@@ -9,6 +9,54 @@
 use bgq_netsim::{ResourceId, SimConfig, Simulator};
 use bgq_torus::{num_links, route, IoLayout, IonId, LinkId, NodeId, Shape, Zone};
 
+/// Why a [`Machine`] could not be constructed or configured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The network parameters failed [`SimConfig::check`].
+    InvalidConfig(String),
+    /// The operation needs psets/bridges/IONs, but the partition is not a
+    /// whole number of psets.
+    NoIoLayout,
+    /// A filesystem bandwidth was zero or negative.
+    NonPositiveFsBandwidth { per_ion: f64, aggregate: f64 },
+    /// A randomized routing zone was requested where the machine needs a
+    /// deterministic one.
+    RandomizedZone(Zone),
+    /// A link-degradation factor fell outside `(0, 1]`.
+    DegradeFactorOutOfRange { link: LinkId, factor: f64 },
+    /// A degraded link id does not exist in this partition.
+    LinkOutOfRange { link: LinkId },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::InvalidConfig(msg) => write!(f, "invalid SimConfig: {msg}"),
+            MachineError::NoIoLayout => {
+                write!(f, "partition has no I/O layout (not a pset multiple)")
+            }
+            MachineError::NonPositiveFsBandwidth { per_ion, aggregate } => write!(
+                f,
+                "filesystem bandwidths must be positive, got per-ION {per_ion} / \
+                 aggregate {aggregate}"
+            ),
+            MachineError::RandomizedZone(zone) => write!(
+                f,
+                "Machine routing requires a deterministic zone, got {zone:?}"
+            ),
+            MachineError::DegradeFactorOutOfRange { link, factor } => write!(
+                f,
+                "degradation factor must be in (0, 1] for {link}, got {factor}"
+            ),
+            MachineError::LinkOutOfRange { link } => {
+                write!(f, "degraded link {link} outside the partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
 /// Parameters of the file-server backend behind the I/O nodes (the ALCF
 /// QDR InfiniBand switch complex and GPFS file servers of Figure 1).
 ///
@@ -53,36 +101,55 @@ impl Machine {
     /// The I/O subsystem (psets, bridge nodes, IONs) is available only for
     /// partitions that are a whole number of 128-node psets; smaller test
     /// partitions still support compute-to-compute traffic.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid; use [`Machine::try_new`] to handle
+    /// that as a [`MachineError`] instead.
     pub fn new(shape: Shape, config: SimConfig) -> Machine {
-        config.validate();
-        let io = if shape.num_nodes() % bgq_torus::PSET_NODES == 0 {
+        Machine::try_new(shape, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Machine::new`].
+    pub fn try_new(shape: Shape, config: SimConfig) -> Result<Machine, MachineError> {
+        config.check().map_err(MachineError::InvalidConfig)?;
+        let io = if shape.num_nodes().is_multiple_of(bgq_torus::PSET_NODES) {
             Some(IoLayout::new(shape))
         } else {
             None
         };
-        Machine {
+        Ok(Machine {
             shape,
             io,
             fs: None,
             degraded: Vec::new(),
             config,
             zone: Zone::Z2,
-        }
+        })
     }
 
     /// Attach a file-server backend behind the I/O nodes.
     ///
     /// # Panics
     /// Panics if the partition has no I/O layout, or if the parameters are
-    /// non-positive.
-    pub fn with_filesystem(mut self, fs: FsParams) -> Machine {
-        assert!(self.io.is_some(), "filesystem requires an I/O layout");
-        assert!(
-            fs.per_ion_bandwidth > 0.0 && fs.aggregate_bandwidth > 0.0,
-            "filesystem bandwidths must be positive"
-        );
+    /// non-positive; use [`Machine::try_with_filesystem`] to handle that as
+    /// a [`MachineError`] instead.
+    pub fn with_filesystem(self, fs: FsParams) -> Machine {
+        self.try_with_filesystem(fs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Machine::with_filesystem`].
+    pub fn try_with_filesystem(mut self, fs: FsParams) -> Result<Machine, MachineError> {
+        if self.io.is_none() {
+            return Err(MachineError::NoIoLayout);
+        }
+        if !(fs.per_ion_bandwidth > 0.0 && fs.aggregate_bandwidth > 0.0) {
+            return Err(MachineError::NonPositiveFsBandwidth {
+                per_ion: fs.per_ion_bandwidth,
+                aggregate: fs.aggregate_bandwidth,
+            });
+        }
         self.fs = Some(fs);
-        self
+        Ok(self)
     }
 
     /// The attached filesystem parameters, if any.
@@ -93,14 +160,20 @@ impl Machine {
     /// Override the deterministic routing zone (must be zone 2 or 3).
     ///
     /// # Panics
-    /// Panics if `zone` is one of the randomized zones.
-    pub fn with_zone(mut self, zone: Zone) -> Machine {
-        assert!(
-            zone.is_deterministic(),
-            "Machine routing requires a deterministic zone, got {zone:?}"
-        );
+    /// Panics if `zone` is one of the randomized zones; use
+    /// [`Machine::try_with_zone`] to handle that as a [`MachineError`]
+    /// instead.
+    pub fn with_zone(self, zone: Zone) -> Machine {
+        self.try_with_zone(zone).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Machine::with_zone`].
+    pub fn try_with_zone(mut self, zone: Zone) -> Result<Machine, MachineError> {
+        if !zone.is_deterministic() {
+            return Err(MachineError::RandomizedZone(zone));
+        }
         self.zone = zone;
-        self
+        Ok(self)
     }
 
     pub fn shape(&self) -> &Shape {
@@ -123,11 +196,16 @@ impl Machine {
     /// The I/O layout.
     ///
     /// # Panics
-    /// Panics if the partition is too small to have psets.
+    /// Panics if the partition is too small to have psets; use
+    /// [`Machine::try_io_layout`] to handle that as a [`MachineError`]
+    /// instead.
     pub fn io_layout(&self) -> &IoLayout {
-        self.io
-            .as_ref()
-            .expect("partition has no I/O layout (not a pset multiple)")
+        self.try_io_layout().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Machine::io_layout`].
+    pub fn try_io_layout(&self) -> Result<&IoLayout, MachineError> {
+        self.io.as_ref().ok_or(MachineError::NoIoLayout)
     }
 
     /// Number of compute nodes.
@@ -229,20 +307,29 @@ impl Machine {
     /// multipath limits the blast radius of one bad link.
     ///
     /// # Panics
-    /// Panics if a factor is outside `(0, 1]`.
-    pub fn with_degraded_links(mut self, degraded: &[(LinkId, f64)]) -> Machine {
+    /// Panics if a factor is outside `(0, 1]` or a link does not exist; use
+    /// [`Machine::try_with_degraded_links`] to handle that as a
+    /// [`MachineError`] instead.
+    pub fn with_degraded_links(self, degraded: &[(LinkId, f64)]) -> Machine {
+        self.try_with_degraded_links(degraded)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Machine::with_degraded_links`].
+    pub fn try_with_degraded_links(
+        mut self,
+        degraded: &[(LinkId, f64)],
+    ) -> Result<Machine, MachineError> {
         for &(link, factor) in degraded {
-            assert!(
-                factor > 0.0 && factor <= 1.0,
-                "degradation factor must be in (0, 1], got {factor}"
-            );
-            assert!(
-                link.0 < num_links(&self.shape),
-                "degraded link {link} outside the partition"
-            );
+            if !(factor > 0.0 && factor <= 1.0) {
+                return Err(MachineError::DegradeFactorOutOfRange { link, factor });
+            }
+            if link.0 >= num_links(&self.shape) {
+                return Err(MachineError::LinkOutOfRange { link });
+            }
             self.degraded.push((link, factor));
         }
-        self
+        Ok(self)
     }
 
     /// The degraded links, if any.
@@ -313,8 +400,8 @@ mod tests {
         let caps = m.capacities();
         assert_eq!(caps.len(), 1284);
         assert_eq!(caps[0], 1.8e9);
-        for i in 1280..1284 {
-            assert_eq!(caps[i], 2.0e9);
+        for &cap in &caps[1280..1284] {
+            assert_eq!(cap, 2.0e9);
         }
     }
 
@@ -367,5 +454,48 @@ mod tests {
     #[should_panic(expected = "deterministic zone")]
     fn randomized_zone_rejected() {
         let _ = machine128().with_zone(Zone::Z0);
+    }
+
+    #[test]
+    fn try_constructors_report_errors_as_values() {
+        let bad = SimConfig {
+            link_bandwidth: 0.0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            Machine::try_new(standard_shape(128).unwrap(), bad),
+            Err(MachineError::InvalidConfig(_))
+        ));
+
+        let small = Machine::new(Shape::new(2, 2, 2, 2, 2), SimConfig::default());
+        assert!(matches!(small.try_io_layout(), Err(MachineError::NoIoLayout)));
+        assert!(matches!(
+            small.try_with_filesystem(FsParams::default()),
+            Err(MachineError::NoIoLayout)
+        ));
+
+        assert!(matches!(
+            machine128().try_with_zone(Zone::Z1),
+            Err(MachineError::RandomizedZone(Zone::Z1))
+        ));
+        assert!(matches!(
+            machine128().try_with_degraded_links(&[(LinkId(3), 1.5)]),
+            Err(MachineError::DegradeFactorOutOfRange { .. })
+        ));
+        assert!(matches!(
+            machine128().try_with_degraded_links(&[(LinkId(999_999), 0.5)]),
+            Err(MachineError::LinkOutOfRange { .. })
+        ));
+
+        // The happy path is unchanged.
+        let m = machine128()
+            .try_with_filesystem(FsParams::default())
+            .unwrap()
+            .try_with_zone(Zone::Z3)
+            .unwrap()
+            .try_with_degraded_links(&[(LinkId(0), 0.5)])
+            .unwrap();
+        assert_eq!(m.zone(), Zone::Z3);
+        assert_eq!(m.degraded_links(), &[(LinkId(0), 0.5)]);
     }
 }

@@ -56,7 +56,7 @@ proptest! {
             prop_assert!(rep.delivered_at(*t) >= t_root);
         }
         // Volume: every non-root receives the payload exactly once.
-        prop_assert_eq!(p.graph().total_bytes(), bytes * (k as u64 - 1).max(0));
+        prop_assert_eq!(p.graph().total_bytes(), bytes * (k as u64 - 1));
     }
 
     #[test]
@@ -66,7 +66,7 @@ proptest! {
         let ns = nodes(k);
         let entry = vec![Vec::new(); k];
         let done = binomial_reduce(&mut p, &ns, bytes, &entry);
-        prop_assert_eq!(p.graph().total_bytes(), bytes * (k as u64 - 1).max(0));
+        prop_assert_eq!(p.graph().total_bytes(), bytes * (k as u64 - 1));
         let rep = p.run();
         prop_assert!(rep.delivered_at(done).is_finite());
     }

@@ -12,6 +12,7 @@
 //! to aggregators so that all I/O nodes receive approximately equal load —
 //! even IONs whose own compute nodes hold no data.
 
+use crate::error::SdmError;
 use bgq_torus::{Coord, IoLayout, NodeId, PsetId, NDIMS};
 
 /// The candidate aggregator counts per I/O node (the paper's list `P`).
@@ -67,7 +68,7 @@ pub fn block_factors(extents: [u16; NDIMS], num_agg: u32) -> [u16; NDIMS] {
         let mut best: Option<usize> = None;
         for i in 0..NDIMS {
             let quot = extents[i] / factors[i];
-            if quot % 2 == 0 && quot >= 2 {
+            if quot.is_multiple_of(2) && quot >= 2 {
                 match best {
                     Some(b) if extents[b] / factors[b] >= quot => {}
                     _ => best = Some(i),
@@ -159,20 +160,45 @@ impl AggregatorTable {
     /// The aggregators (across all psets) for a given per-ION count.
     ///
     /// # Panics
-    /// Panics if `per_ion` is not in `P`.
+    /// Panics if `per_ion` is not in `P`; use
+    /// [`AggregatorTable::try_aggregators`] to handle that as an
+    /// [`SdmError`] instead.
     pub fn aggregators(&self, per_ion: u32) -> &[NodeId] {
+        self.try_aggregators(per_ion)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AggregatorTable::aggregators`].
+    pub fn try_aggregators(&self, per_ion: u32) -> Result<&[NodeId], SdmError> {
         let k = AGG_COUNTS
             .iter()
             .position(|&c| c == per_ion)
-            .unwrap_or_else(|| panic!("aggregator count {per_ion} not in P"));
-        &self.placements[k]
+            .ok_or(SdmError::CountNotInP(per_ion))?;
+        Ok(&self.placements[k])
     }
 
     /// Algorithm 2, part II: the per-ION aggregator count for a request of
     /// `total_bytes`, with `min_agg_bytes` per aggregator (the constant
     /// `S`). `T / S / n_io`, clamped into `P`.
+    ///
+    /// # Panics
+    /// Panics if `min_agg_bytes` is zero; use
+    /// [`AggregatorTable::try_select_count`] to handle that as an
+    /// [`SdmError`] instead.
     pub fn select_count(&self, total_bytes: u64, min_agg_bytes: u64) -> u32 {
-        assert!(min_agg_bytes > 0, "S must be positive");
+        self.try_select_count(total_bytes, min_agg_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AggregatorTable::select_count`].
+    pub fn try_select_count(
+        &self,
+        total_bytes: u64,
+        min_agg_bytes: u64,
+    ) -> Result<u32, SdmError> {
+        if min_agg_bytes == 0 {
+            return Err(SdmError::NonPositiveMinAggBytes);
+        }
         let want = total_bytes / min_agg_bytes / self.num_psets as u64;
         let mut chosen = AGG_COUNTS[0];
         for &c in &AGG_COUNTS {
@@ -180,7 +206,7 @@ impl AggregatorTable {
                 chosen = c;
             }
         }
-        chosen
+        Ok(chosen)
     }
 
     /// Convenience: select count and return the aggregator set.
@@ -216,6 +242,10 @@ pub enum AssignPolicy {
 ///
 /// `max_chunk` bounds a single message (larger volumes are split so they
 /// can spread over several aggregators).
+///
+/// # Panics
+/// Panics on an empty aggregator set or a zero chunk size; use
+/// [`try_assign_data`] to handle those as an [`SdmError`] instead.
 pub fn assign_data(
     data: &[(NodeId, u64)],
     aggregators: &[NodeId],
@@ -223,8 +253,24 @@ pub fn assign_data(
     max_chunk: u64,
     policy: AssignPolicy,
 ) -> Vec<Assignment> {
-    assert!(!aggregators.is_empty(), "need at least one aggregator");
-    assert!(max_chunk > 0, "max_chunk must be positive");
+    try_assign_data(data, aggregators, layout, max_chunk, policy)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`assign_data`].
+pub fn try_assign_data(
+    data: &[(NodeId, u64)],
+    aggregators: &[NodeId],
+    layout: &IoLayout,
+    max_chunk: u64,
+    policy: AssignPolicy,
+) -> Result<Vec<Assignment>, SdmError> {
+    if aggregators.is_empty() {
+        return Err(SdmError::NoAggregators);
+    }
+    if max_chunk == 0 {
+        return Err(SdmError::NonPositiveChunk);
+    }
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -272,23 +318,35 @@ pub fn assign_data(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Total bytes each aggregator receives under a set of assignments.
+///
+/// # Panics
+/// Panics if an assignment targets a node outside `aggregators`; use
+/// [`try_aggregator_loads`] to handle that as an [`SdmError`] instead.
 pub fn aggregator_loads(
     assignments: &[Assignment],
     aggregators: &[NodeId],
 ) -> Vec<u64> {
+    try_aggregator_loads(assignments, aggregators).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`aggregator_loads`].
+pub fn try_aggregator_loads(
+    assignments: &[Assignment],
+    aggregators: &[NodeId],
+) -> Result<Vec<u64>, SdmError> {
     let mut loads = vec![0u64; aggregators.len()];
     for a in assignments {
         let i = aggregators
             .iter()
             .position(|&g| g == a.to)
-            .expect("assignment targets a known aggregator");
+            .ok_or(SdmError::UnknownAggregator(a.to))?;
         loads[i] += a.bytes;
     }
-    loads
+    Ok(loads)
 }
 
 #[cfg(test)]

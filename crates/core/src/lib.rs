@@ -40,6 +40,7 @@
 
 pub mod aggregator;
 pub mod analysis;
+pub mod error;
 pub mod io_move;
 pub mod model;
 pub mod multipath;
@@ -51,9 +52,11 @@ pub use analysis::{
     diversity_report, diversity_upper_bound, max_disjoint_proxy_paths, DiversityReport,
 };
 pub use aggregator::{
-    aggregator_loads, assign_data, block_factors, pset_box, AggregatorTable, AssignPolicy,
-    Assignment, AGG_COUNTS, DEFAULT_MIN_AGG_BYTES,
+    aggregator_loads, assign_data, block_factors, pset_box, try_aggregator_loads,
+    try_assign_data, AggregatorTable, AssignPolicy, Assignment, AGG_COUNTS,
+    DEFAULT_MIN_AGG_BYTES,
 };
+pub use error::SdmError;
 pub use io_move::{
     plan_topology_aware_read, plan_topology_aware_write, route_chunks_to_ions, IoMoveOptions,
     IoMovePlan,

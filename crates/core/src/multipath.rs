@@ -409,11 +409,12 @@ mod tests {
     #[test]
     fn dynamic_splitting_helps_but_multipath_matches_it_deterministically() {
         // Splitting a message over randomly-ordered zone-0 routes does
-        // recover bandwidth (collisions permitting), but the outcome is
-        // left to chance and cannot be coordinated across transfers. The
+        // recover bandwidth when collisions permit, but the outcome is
+        // left to chance and cannot be coordinated across transfers: a
+        // bad draw can even lose to the single deterministic path. The
         // planned proxy scheme must land within a small factor of the
-        // randomized alternative's outcome while being deterministic, and
-        // both must clearly beat the deterministic single path.
+        // randomized alternative's *best* draw while being deterministic,
+        // and must clearly beat the deterministic single path.
         use rand::{rngs::StdRng, SeedableRng};
         let m = machine128();
         let bytes = 64u64 << 20;
@@ -424,11 +425,14 @@ mod tests {
             .completed_at(&pd.run());
 
         let mut worst: f64 = 0.0;
+        let mut best: f64 = f64::INFINITY;
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut p = Program::new(&m);
             let h = plan_direct_dynamic(&mut p, NodeId(0), NodeId(127), bytes, 4, &mut rng);
-            worst = worst.max(h.completed_at(&p.run()));
+            let t = h.completed_at(&p.run());
+            worst = worst.max(t);
+            best = best.min(t);
         }
 
         let mut pm = Program::new(&m);
@@ -442,11 +446,18 @@ mod tests {
         );
         let t_multi = hm.completed_at(&pm.run());
 
-        assert!(worst < t_direct, "dynamic splitting should beat single path");
+        assert!(
+            worst > best,
+            "route draws should produce a spread of outcomes: {best}..{worst}"
+        );
+        assert!(
+            best < t_direct * 0.75,
+            "a lucky dynamic draw should beat the single path: {best} vs {t_direct}"
+        );
         assert!(t_multi < t_direct * 0.6, "multipath should beat single path");
         assert!(
-            t_multi < worst * 1.25,
-            "planned multipath {t_multi} should match randomized splitting {worst}"
+            t_multi < best * 1.25,
+            "planned multipath {t_multi} should match randomized splitting's best draw {best}"
         );
     }
 

@@ -6,6 +6,7 @@
 //! executable plan plus the decision it made.
 
 use crate::aggregator::AggregatorTable;
+use crate::error::SdmError;
 use crate::io_move::{plan_topology_aware_write, IoMoveOptions, IoMovePlan};
 use crate::model::CostModel;
 use crate::multipath::{
@@ -16,6 +17,7 @@ use crate::proxy::{find_proxies, find_proxy_groups, ProxySearchConfig};
 use bgq_comm::{Machine, Program};
 use bgq_torus::NodeId;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// What the planner decided for a transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,20 +44,49 @@ pub struct SparseMover<'m> {
     model: CostModel,
     search: ProxySearchConfig,
     multipath: MultipathOptions,
-    aggregators: Option<AggregatorTable>,
+    aggregators: Option<Arc<AggregatorTable>>,
 }
 
 impl<'m> SparseMover<'m> {
     /// Build a planner; precomputes the aggregator table when the machine
     /// has an I/O layout (Algorithm 2's Init).
     pub fn new(machine: &'m Machine) -> SparseMover<'m> {
+        let aggregators = machine
+            .io()
+            .map(|io| Arc::new(AggregatorTable::precompute(io)));
+        Self::build(machine, aggregators)
+    }
+
+    /// Build a planner around an already-computed (shared) aggregator
+    /// table, skipping the Init phase. This is how an experiment session
+    /// reuses one precomputation across many sweep points: the table is
+    /// behind an [`Arc`], so clones are free and thread-safe.
+    ///
+    /// The table must have been computed for this machine's I/O layout;
+    /// pass `None` for partitions without one.
+    pub fn with_aggregator_table(
+        machine: &'m Machine,
+        table: Option<Arc<AggregatorTable>>,
+    ) -> SparseMover<'m> {
+        debug_assert_eq!(
+            table.as_ref().map(|t| t.num_psets()),
+            machine.io().map(|io| io.num_psets()),
+            "aggregator table does not match the machine's I/O layout"
+        );
+        Self::build(machine, table)
+    }
+
+    fn build(
+        machine: &'m Machine,
+        aggregators: Option<Arc<AggregatorTable>>,
+    ) -> SparseMover<'m> {
         let model = CostModel::from_sim_config(machine.config(), machine.mean_hops());
         SparseMover {
             machine,
             model,
             search: ProxySearchConfig::default(),
             multipath: MultipathOptions::default(),
-            aggregators: machine.io().map(AggregatorTable::precompute),
+            aggregators,
         }
     }
 
@@ -80,7 +111,13 @@ impl<'m> SparseMover<'m> {
     }
 
     pub fn aggregator_table(&self) -> Option<&AggregatorTable> {
-        self.aggregators.as_ref()
+        self.aggregators.as_deref()
+    }
+
+    /// The shared aggregator table handle, for reuse by another planner
+    /// over the same machine.
+    pub fn shared_aggregator_table(&self) -> Option<Arc<AggregatorTable>> {
+        self.aggregators.clone()
     }
 
     /// Plan a point-to-point transfer, choosing direct vs. multipath by the
@@ -157,35 +194,55 @@ impl<'m> SparseMover<'m> {
     /// Plan a sparse collective write (Algorithm 2).
     ///
     /// # Panics
-    /// Panics if the machine has no I/O layout.
+    /// Panics if the machine has no I/O layout; use
+    /// [`SparseMover::try_plan_sparse_write`] to handle that as an
+    /// [`SdmError`] instead.
     pub fn plan_sparse_write(
         &self,
         prog: &mut Program<'_>,
         data: &[(NodeId, u64)],
         opts: &IoMoveOptions,
     ) -> IoMovePlan {
-        let table = self
-            .aggregators
-            .as_ref()
-            .expect("machine has no I/O layout");
-        plan_topology_aware_write(prog, table, data, opts)
+        self.try_plan_sparse_write(prog, data, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SparseMover::plan_sparse_write`].
+    pub fn try_plan_sparse_write(
+        &self,
+        prog: &mut Program<'_>,
+        data: &[(NodeId, u64)],
+        opts: &IoMoveOptions,
+    ) -> Result<IoMovePlan, SdmError> {
+        let table = self.aggregators.as_ref().ok_or(SdmError::NoIoLayout)?;
+        Ok(plan_topology_aware_write(prog, table, data, opts))
     }
 
     /// Plan a sparse collective read (restart) — Algorithm 2 reversed.
     ///
     /// # Panics
-    /// Panics if the machine has no I/O layout.
+    /// Panics if the machine has no I/O layout; use
+    /// [`SparseMover::try_plan_sparse_read`] to handle that as an
+    /// [`SdmError`] instead.
     pub fn plan_sparse_read(
         &self,
         prog: &mut Program<'_>,
         data: &[(NodeId, u64)],
         opts: &IoMoveOptions,
     ) -> IoMovePlan {
-        let table = self
-            .aggregators
-            .as_ref()
-            .expect("machine has no I/O layout");
-        crate::io_move::plan_topology_aware_read(prog, table, data, opts)
+        self.try_plan_sparse_read(prog, data, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SparseMover::plan_sparse_read`].
+    pub fn try_plan_sparse_read(
+        &self,
+        prog: &mut Program<'_>,
+        data: &[(NodeId, u64)],
+        opts: &IoMoveOptions,
+    ) -> Result<IoMovePlan, SdmError> {
+        let table = self.aggregators.as_ref().ok_or(SdmError::NoIoLayout)?;
+        Ok(crate::io_move::plan_topology_aware_read(prog, table, data, opts))
     }
 }
 
@@ -268,6 +325,39 @@ mod tests {
         let plan = mover.plan_sparse_write(&mut p, &data, &IoMoveOptions::default());
         let rep = p.run();
         assert!(plan.handle.completed_at(&rep) > 0.0);
+    }
+
+    #[test]
+    fn sparse_write_without_io_layout_is_an_error() {
+        let m = Machine::new(bgq_torus::Shape::new(2, 2, 2, 2, 2), SimConfig::default());
+        let mover = SparseMover::new(&m);
+        let mut p = Program::new(&m);
+        let data = [(NodeId(0), 1u64 << 20)];
+        let err = mover
+            .try_plan_sparse_write(&mut p, &data, &IoMoveOptions::default())
+            .unwrap_err();
+        assert_eq!(err, crate::SdmError::NoIoLayout);
+    }
+
+    #[test]
+    fn shared_table_plans_identically_to_fresh_precompute() {
+        let m = machine();
+        let fresh = SparseMover::new(&m);
+        let table = fresh.shared_aggregator_table();
+        let shared = SparseMover::with_aggregator_table(&m, table);
+        let data: Vec<(NodeId, u64)> = (0..64).map(|i| (NodeId(i), 4 << 20)).collect();
+
+        let mut p1 = Program::new(&m);
+        let t1 = fresh
+            .plan_sparse_write(&mut p1, &data, &IoMoveOptions::default())
+            .handle
+            .completed_at(&p1.run());
+        let mut p2 = Program::new(&m);
+        let t2 = shared
+            .plan_sparse_write(&mut p2, &data, &IoMoveOptions::default())
+            .handle
+            .completed_at(&p2.run());
+        assert_eq!(t1, t2, "shared table must not change the plan");
     }
 
     #[test]

@@ -84,14 +84,17 @@ impl SimConfig {
         self
     }
 
-    /// Sanity-check the parameters.
-    ///
-    /// # Panics
-    /// Panics if any bandwidth is non-positive or any overhead is negative.
-    pub fn validate(&self) {
-        assert!(self.link_bandwidth > 0.0, "link bandwidth must be positive");
-        assert!(self.io_link_bandwidth > 0.0, "io link bandwidth must be positive");
-        assert!(self.per_flow_cap > 0.0, "per-flow cap must be positive");
+    /// Sanity-check the parameters, reporting the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        if self.link_bandwidth <= 0.0 {
+            return Err("link bandwidth must be positive".into());
+        }
+        if self.io_link_bandwidth <= 0.0 {
+            return Err("io link bandwidth must be positive".into());
+        }
+        if self.per_flow_cap <= 0.0 {
+            return Err("per-flow cap must be positive".into());
+        }
         for (name, v) in [
             ("hop_latency", self.hop_latency),
             ("send_overhead", self.send_overhead),
@@ -100,12 +103,24 @@ impl SimConfig {
             ("forward_overhead", self.forward_overhead),
             ("contention_penalty", self.contention_penalty),
         ] {
-            assert!(v >= 0.0, "{name} must be non-negative, got {v}");
+            if v < 0.0 {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
         }
-        assert!(
-            self.contention_floor > 0.0 && self.contention_floor <= 1.0,
-            "contention floor must be in (0, 1]"
-        );
+        if !(self.contention_floor > 0.0 && self.contention_floor <= 1.0) {
+            return Err("contention floor must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// Sanity-check the parameters.
+    ///
+    /// # Panics
+    /// Panics if any bandwidth is non-positive or any overhead is negative.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 

@@ -136,7 +136,7 @@ impl Direction {
         assert!(i < 2 * NDIMS, "direction index {i} out of range");
         Direction {
             dim: Dim::from_index(i / 2),
-            sign: if i % 2 == 0 { Sign::Plus } else { Sign::Minus },
+            sign: if i.is_multiple_of(2) { Sign::Plus } else { Sign::Minus },
         }
     }
 

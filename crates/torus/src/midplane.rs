@@ -49,12 +49,12 @@ pub fn is_valid_partition(shape: &Shape) -> bool {
         // Sub-block: each extent must divide the midplane's.
         crate::coords::Dim::ALL
             .into_iter()
-            .all(|d| mp.extent(d) % shape.extent(d) == 0)
+            .all(|d| mp.extent(d).is_multiple_of(shape.extent(d)))
     } else {
         // Multi-midplane: each extent must be a multiple of the midplane's.
         crate::coords::Dim::ALL
             .into_iter()
-            .all(|d| shape.extent(d) % mp.extent(d) == 0)
+            .all(|d| shape.extent(d).is_multiple_of(mp.extent(d)))
     }
 }
 

@@ -39,7 +39,7 @@ pub fn standard_shape(nodes: u32) -> Option<Shape> {
 /// The standard shape for a partition with `cores` compute cores
 /// (16 per node).
 pub fn shape_for_cores(cores: u32) -> Option<Shape> {
-    if cores % CORES_PER_NODE != 0 {
+    if !cores.is_multiple_of(CORES_PER_NODE) {
         return None;
     }
     standard_shape(cores / CORES_PER_NODE)

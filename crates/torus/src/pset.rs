@@ -59,7 +59,7 @@ impl IoLayout {
     pub fn new(shape: Shape) -> IoLayout {
         let n = shape.num_nodes();
         assert!(
-            n % PSET_NODES == 0 && n > 0,
+            n.is_multiple_of(PSET_NODES) && n > 0,
             "partition of {n} nodes is not a whole number of {PSET_NODES}-node psets"
         );
         IoLayout {

@@ -127,7 +127,6 @@ pub fn dim_order<R: Rng + ?Sized>(
         }
         Zone::Z0 => {
             let rng = rng
-                .as_deref_mut()
                 .expect("zone 0 routing requires an RNG");
             // Longest-to-shortest with random tie-break: shuffle first so
             // the stable sort leaves equal keys in random relative order.

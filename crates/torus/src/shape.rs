@@ -122,7 +122,7 @@ impl Shape {
         let diff = (to.get(dim) as i32 - from.get(dim) as i32).rem_euclid(ext);
         if diff == 0 {
             0
-        } else if diff * 2 < ext || diff * 2 == ext {
+        } else if diff * 2 <= ext {
             diff // forward (positive) is shortest, or tie -> positive
         } else {
             diff - ext // negative direction is shorter

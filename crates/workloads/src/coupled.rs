@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn every_module_gets_a_node() {
         let mods = partition_modules(4, &[("a", 1000), ("b", 1), ("c", 1), ("d", 1)]);
-        assert!(mods.iter().all(|m| m.len() >= 1));
+        assert!(mods.iter().all(|m| !m.is_empty()));
         assert_eq!(mods.iter().map(|m| m.len()).sum::<u32>(), 4);
     }
 

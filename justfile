@@ -1,0 +1,15 @@
+# Common development tasks. Run with `just <target>`.
+
+# Build, test, and lint — the gate every change must pass.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Full figure reproduction into results/ (coffee-break sized).
+reproduce:
+    cargo run --release -p bgq-bench --bin reproduce -- --coarse --max-cores 16384 --threads 4 --timing
+
+# Machinery + ablation benches.
+bench:
+    cargo bench

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `bench_function` / `bench_with_input` / `sample_size` / `finish`,
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Measurement is intentionally lightweight — a short warm-up, then a
+//! fixed time budget of timed batches, reporting min/mean. There is no
+//! statistical analysis, HTML report, or saved baseline. The point is to
+//! keep `cargo bench` (and `cargo test`, which also builds and runs bench
+//! targets) working and fast in an offline sandbox while still printing
+//! usable per-iteration timings.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque barrier against constant-folding benchmark inputs.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark's display name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives timing of one benchmark body.
+pub struct Bencher {
+    /// (iterations, total elapsed) of the best timed batch.
+    best: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: one warm-up call, then timed batches until the
+    /// time budget is spent, doubling the batch size as long as a batch
+    /// stays fast.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut batch: u64 = 1;
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            let better = match self.best {
+                None => true,
+                Some((it, best_dt)) => {
+                    dt.as_secs_f64() / (batch as f64) < best_dt.as_secs_f64() / (it as f64)
+                }
+            };
+            if better {
+                self.best = Some((batch, dt));
+            }
+            if started.elapsed() >= self.budget {
+                break;
+            }
+            if dt < self.budget / 8 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.best {
+        Some((iters, dt)) => {
+            let per = dt.as_secs_f64() / iters as f64;
+            let (val, unit) = if per >= 1.0 {
+                (per, "s")
+            } else if per >= 1e-3 {
+                (per * 1e3, "ms")
+            } else if per >= 1e-6 {
+                (per * 1e6, "µs")
+            } else {
+                (per * 1e9, "ns")
+            };
+            println!("bench: {id:<55} {val:>9.3} {unit}/iter ({iters} iters)");
+        }
+        None => println!("bench: {id:<55} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` also executes harness-less bench targets; keep the
+        // per-bench budget small so that stays cheap.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            budget: if test_mode {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark time budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Criterion {
+        self.budget = budget;
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering is not implemented.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            best: None,
+            budget: self.budget,
+        };
+        f(&mut b);
+        report(&id.id, &b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's budget already bounds
+    /// the sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = BenchmarkId {
+            id: format!("{}/{}", self.name, id.id),
+        };
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("route", 128).id, "route/128");
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+    }
+}

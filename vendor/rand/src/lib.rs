@@ -1,0 +1,324 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the exact surface the workspace uses: [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`], [`rngs::StdRng`] / [`rngs::ThreadRng`],
+//! `gen_range` over integer/float ranges, `gen::<f64>()`, and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — deterministic for a given seed, statistically solid for
+//! the simulation workloads here, but *not* bit-compatible with upstream
+//! `StdRng` (no golden values in this repo depend on upstream streams).
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand 0.8`'s `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`0..n`, `0..=max`, `lo..hi` floats).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a value of `T` from its standard distribution.
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as distributions::Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: std::array::from_fn(|_| splitmix64(&mut sm)),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Per-call generator seeded from a process-global counter. Unlike
+    /// upstream it is not thread-local state; each [`super::thread_rng`]
+    /// call returns an independently seeded generator.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(StdRng);
+
+    impl ThreadRng {
+        pub(crate) fn new() -> ThreadRng {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            ThreadRng(StdRng::seed_from_u64(n))
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// A fresh pseudo-thread-local generator.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types samplable "from the standard distribution" via `Rng::gen`.
+    pub trait Standard {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        /// Uniform in `[0, 1)` with 53 random mantissa bits.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Ranges usable with `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Draw uniformly from `[0, span)` without modulo bias
+        /// (Lemire's multiply-shift rejection method).
+        #[inline]
+        pub(crate) fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            loop {
+                let x = rng.next_u64();
+                let m = (x as u128) * (span as u128);
+                let lo = m as u64;
+                if lo >= span || lo >= (u64::MAX - span + 1) % span {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range in gen_range");
+                        let span = (self.end as u64) - (self.start as u64);
+                        self.start + below(rng, span) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in gen_range");
+                        let span = (hi as u64) - (lo as u64);
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo + below(rng, span + 1) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{distributions::uniform::below, Rng};
+
+    /// Slice shuffling / random element selection.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let s: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..400 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.gen_range(0u64..=1000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((480.0..520.0).contains(&mean), "mean {mean}");
+    }
+}
