@@ -8,7 +8,8 @@
 //! * `--coarse` — keep ~8 sizes of the 18-point message-size sweep;
 //! * `--threads N` — worker threads for the parallel fan-out (default:
 //!   the machine's available parallelism);
-//! * `--timing` — print per-point timings and plan-cache counters.
+//! * `--timing` — print per-point timings and plan-cache counters;
+//! * `--seed N` — seed for the randomized fault scenarios (`resilience`).
 //!
 //! Arguments that don't start with `--` are collected into
 //! [`BenchArgs::positional`] for binaries that take operands
@@ -36,7 +37,7 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::UnknownFlag(flag) => write!(
                 f,
-                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing)"
+                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N)"
             ),
             ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             ArgError::BadValue { flag, value } => {
@@ -61,6 +62,8 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Print the per-point timing footer.
     pub timing: bool,
+    /// Seed for the randomized fault scenarios (`resilience`).
+    pub seed: u64,
     /// Non-flag operands, in order.
     pub positional: Vec<String>,
 }
@@ -75,6 +78,7 @@ impl Default for BenchArgs {
                 .map(|n| n.get())
                 .unwrap_or(1),
             timing: false,
+            seed: crate::resilience::DEFAULT_SEED,
             positional: Vec::new(),
         }
     }
@@ -111,6 +115,9 @@ impl BenchArgs {
                 "--threads" => {
                     out.threads = parse_value("--threads", it.next())?;
                     out.threads = out.threads.max(1);
+                }
+                "--seed" => {
+                    out.seed = parse_value("--seed", it.next())?;
                 }
                 other if other.starts_with("--") => {
                     return Err(ArgError::UnknownFlag(other.to_string()));
@@ -194,10 +201,16 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let a = parse(&["--csv", "--coarse", "--threads", "3", "--timing"]).unwrap();
+        let a = parse(&["--csv", "--coarse", "--threads", "3", "--timing", "--seed", "7"]).unwrap();
         assert!(a.csv && a.timing);
         assert_eq!(a.max_sizes, 8);
         assert_eq!(a.threads, 3);
+        assert_eq!(a.seed, 7);
+        assert_eq!(
+            parse(&[]).unwrap().seed,
+            crate::resilience::DEFAULT_SEED,
+            "seed defaults to the experiment's date stamp"
+        );
         let a = parse(&["--max-cores", "8192", "pareto", "2048"]).unwrap();
         assert_eq!(a.max_cores, 8192);
         assert_eq!(a.positional, vec!["pareto", "2048"]);

@@ -10,6 +10,7 @@
 //! ```
 
 use bgq_bench::experiments::{Fig10, Fig11, Fig5, Fig6, Fig7};
+use bgq_bench::resilience::{default_sizes, Resilience};
 use bgq_bench::runner::{Experiment, ExperimentSession};
 use bgq_bench::{fig10_scales, fig11_scales, BenchArgs};
 use std::fs;
@@ -50,6 +51,13 @@ fn main() {
     run_to_file(&session, &Fig5 { sizes: sizes.clone() }, "fig5.txt", false);
     run_to_file(&session, &Fig6 { sizes: sizes.clone() }, "fig6.txt", false);
     run_to_file(&session, &Fig7 { sizes }, "fig7.txt", false);
+
+    run_to_file(
+        &session,
+        &Resilience::new(default_sizes(), args.seed),
+        "resilience.csv",
+        true,
+    );
 
     eprintln!("weak scaling up to {} cores...", args.max_cores);
     let fig10 = Fig10 {

@@ -1,0 +1,23 @@
+//! Resilience experiment: direct vs. fault-aware multipath transfers
+//! under time-varying link faults (fault-free / direct-route cut / seeded
+//! random failures), on the Fig. 5 pair.
+//!
+//! The stubborn direct strategy replays the same deterministic route every
+//! retry and dies with the route; the health-aware planner snapshots the
+//! fault state at each attempt and routes around it. `--seed N` shifts the
+//! random scenarios; identical seeds reproduce identical CSV bytes at any
+//! `--threads` count.
+
+use bgq_bench::resilience::{default_sizes, Resilience};
+use bgq_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!(
+        "Resilience: completion and delivery under link faults (2x2x4x4x2, node 0 -> node 127)"
+    );
+    args.session().report(
+        &Resilience::new(default_sizes(), args.seed),
+        args.csv,
+    );
+}

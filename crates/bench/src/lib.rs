@@ -24,6 +24,7 @@ pub mod args;
 pub mod experiments;
 pub mod io;
 pub mod micro;
+pub mod resilience;
 pub mod runner;
 pub mod table;
 
@@ -36,6 +37,9 @@ pub use io::{
 pub use micro::{
     corner_groups, crossover, fig5_point, fig5_sweep, fig6_point, fig6_sweep, fig7_point,
     fig7_series_labels, fig7_sweep, SweepPoint,
+};
+pub use resilience::{
+    default_scenarios, fault_plan_for, resilience_point, Resilience, ResiliencePoint, Scenario,
 };
 pub use runner::{CacheStats, Experiment, ExperimentRun, ExperimentSession, PlanCache, Row};
 pub use table::{fmt_bytes, fmt_gbs, paper_size_sweep, Table};

@@ -3,10 +3,13 @@
 //! and a [`PlanCache`] hit is indistinguishable from a fresh computation.
 
 use bgq_bench::experiments::{Fig10, Fig5};
+use bgq_bench::resilience::Resilience;
 use bgq_bench::{fig10_scales, BenchArgs, Experiment, ExperimentSession, PlanCache};
+use bgq_comm::{Machine, Program};
+use bgq_netsim::{FaultPlan, SimConfig};
 use bgq_torus::{standard_shape, NodeId, Zone};
 use proptest::prelude::*;
-use sdm_core::{find_proxies, ProxySearchConfig};
+use sdm_core::{find_proxies, plan_via_proxies, MultipathOptions, ProxySearchConfig};
 use std::collections::HashSet;
 
 fn csv_of<E: Experiment>(threads: usize, exp: &E) -> (String, u64) {
@@ -41,6 +44,73 @@ fn fig10_csv_identical_across_thread_counts() {
     // aggregator table — the weak-scaling figures must show a nonzero
     // cache hit rate.
     assert!(hits > 0, "pattern 2 must hit pattern 1's cached plans");
+}
+
+#[test]
+fn resilience_csv_identical_across_thread_counts() {
+    // The fault-injection sweep does many chained simulations per point
+    // (retry attempts, plus the fault-free baseline) — exactly the kind
+    // of workload where hidden shared state would show up as cross-thread
+    // divergence. Two sizes x four scenarios keeps it quick.
+    let exp = Resilience::new(vec![64 << 10, 16 << 20], 20140914);
+    let (seq, _) = csv_of(1, &exp);
+    let (par, hits) = csv_of(4, &exp);
+    assert_eq!(seq, par, "4-thread CSV must match sequential byte-for-byte");
+    assert!(hits > 0, "points share the cached machine and tables");
+    // And the seed is the only source of randomness: the same seed gives
+    // the same bytes on a fresh session, a different seed does not.
+    let (again, _) = csv_of(2, &exp);
+    assert_eq!(seq, again);
+    let (other, _) = csv_of(2, &Resilience::new(vec![64 << 10, 16 << 20], 4242));
+    assert_ne!(seq, other, "the random scenarios must respond to the seed");
+}
+
+#[test]
+fn identical_fault_plans_give_identical_sim_reports() {
+    // Seeded fault plan -> bit-identical SimReport, run after run: the
+    // whole resilience layer rests on this.
+    let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+    let plan = FaultPlan::random_link_faults(
+        99,
+        bgq_torus::num_links(machine.shape()),
+        2000.0,
+        0.005,
+        0.1,
+    );
+    assert!(!plan.is_empty());
+    let proxies = find_proxies(
+        machine.shape(),
+        Zone::Z2,
+        NodeId(0),
+        NodeId(127),
+        &HashSet::new(),
+        &ProxySearchConfig::default(),
+    )
+    .proxies();
+    let run = || {
+        let mut prog = Program::new(&machine);
+        let h = plan_via_proxies(
+            &mut prog,
+            NodeId(0),
+            NodeId(127),
+            8 << 20,
+            &proxies,
+            &MultipathOptions::default(),
+        );
+        (prog.run_with_faults(&plan), h)
+    };
+    let (a, _) = run();
+    let (b, _) = run();
+    assert_eq!(a.status, b.status, "per-transfer outcomes must replay");
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+    let times_bits = |r: &bgq_netsim::SimReport| {
+        r.delivery_time
+            .iter()
+            .map(|t| t.to_bits())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(times_bits(&a), times_bits(&b));
 }
 
 #[test]

@@ -11,6 +11,7 @@
 //!   (message-accurate) barrier/broadcast/reduce algorithms.
 
 pub mod collectives;
+pub mod health;
 pub mod machine;
 pub mod program;
 pub mod scheduled;
@@ -20,7 +21,10 @@ pub use collectives::{
     binomial_bcast, binomial_reduce, dissemination_barrier, CollectiveModel,
     CONTROL_MSG_BYTES,
 };
+pub use health::HealthMask;
 pub use machine::{FsParams, Machine, MachineError};
-pub use program::{Program, TransferHandle};
+pub use program::{
+    run_resilient, Program, ReplanContext, ResilientOutcome, RetryPolicy, TransferHandle,
+};
 pub use scheduled::{binomial_scatter, pairwise_alltoall, ring_allgather};
 pub use subcomm::SubComm;

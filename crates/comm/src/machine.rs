@@ -242,6 +242,13 @@ impl Machine {
         ResourceId(link.0)
     }
 
+    /// The torus link a resource id maps back to, or `None` for resources
+    /// outside the torus link space (I/O links, filesystem).
+    #[inline]
+    pub fn torus_link(&self, resource: ResourceId) -> Option<LinkId> {
+        (resource.0 < num_links(&self.shape)).then_some(LinkId(resource.0))
+    }
+
     /// Resource id of a bridge node's outbound I/O link (bridge → ION).
     ///
     /// # Panics

@@ -5,8 +5,9 @@
 //! simulator. Dependencies between transfers express completion semantics
 //! (`MPI_Win` epochs, store-and-forward hand-offs) explicitly.
 
+use crate::health::HealthMask;
 use crate::machine::Machine;
-use bgq_netsim::{SimReport, TransferGraph, TransferId, TransferSpec};
+use bgq_netsim::{FaultPlan, SimReport, TransferGraph, TransferId, TransferSpec, TransferStatus};
 use bgq_torus::NodeId;
 
 /// Handle to one logical (possibly multi-transfer) operation: the delivery
@@ -229,6 +230,154 @@ impl<'m> Program<'m> {
     pub fn run(&self) -> SimReport {
         self.machine.simulator().run(&self.graph)
     }
+
+    /// Execute the program under a fault schedule. With an empty plan
+    /// this is exactly [`Program::run`].
+    pub fn run_with_faults(&self, faults: &FaultPlan) -> SimReport {
+        self.machine.simulator().run_with_faults(&self.graph, faults)
+    }
+}
+
+/// Bounded retry policy for fault-aware re-planning. All times are
+/// *simulated* seconds: the backoff is charged to the simulation clock,
+/// not to wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be at least 1).
+    pub max_attempts: u32,
+    /// Simulated delay before the first retry.
+    pub base_backoff: f64,
+    /// Multiplier applied to the backoff on every further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 100e-6,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// What a re-planning closure sees on each [`run_resilient`] attempt.
+#[derive(Debug, Clone)]
+pub struct ReplanContext {
+    /// Attempt number, starting at 0.
+    pub attempt: u32,
+    /// Simulated time before which no transfer of this attempt may start.
+    pub not_before: f64,
+    /// Bytes still to deliver (the remainder after earlier attempts).
+    pub bytes: u64,
+    /// Network health at `not_before` — what a fault-aware planner should
+    /// route around.
+    pub health: HealthMask,
+    /// Gate token: pass it as a dependency (or
+    /// `MultipathOptions::gate`) so the attempt's transfers start only
+    /// once the simulation clock reaches `not_before`. `None` on the
+    /// first attempt.
+    pub gate: Option<TransferId>,
+}
+
+/// Result of a [`run_resilient`] drive.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// Whether every byte eventually arrived.
+    pub delivered: bool,
+    /// Attempts consumed (1 = no retry needed).
+    pub attempts: u32,
+    /// Simulated time the last byte arrived; `f64::INFINITY` on failure.
+    pub completion_time: f64,
+    /// Bytes that arrived across all attempts.
+    pub bytes_delivered: u64,
+    /// The final attempt's report (stalled transfers and all).
+    pub report: SimReport,
+}
+
+/// Drive a transfer to completion under faults with bounded re-planning.
+///
+/// Each attempt builds a fresh [`Program`], asks `plan` to schedule the
+/// remaining bytes (the closure sees the current [`HealthMask`] and a
+/// gate token pinning the attempt to its simulated start time), and
+/// replays the *same* absolute-time fault schedule. Chunks whose final
+/// token was delivered are subtracted from the remainder; a stalled
+/// remainder is retried after an exponential backoff in simulated time,
+/// up to `policy.max_attempts` attempts.
+///
+/// Attempts are independent simulations stitched on the clock: an
+/// attempt's traffic does not contend with earlier attempts' completed
+/// traffic. That is the standard renewal approximation — by the time a
+/// retry fires, the earlier attempt's surviving flows have drained.
+///
+/// # Panics
+/// Panics if `policy.max_attempts` is 0 or the closure plans no bytes
+/// while bytes remain.
+pub fn run_resilient<F>(
+    machine: &Machine,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    src: NodeId,
+    total_bytes: u64,
+    mut plan: F,
+) -> ResilientOutcome
+where
+    F: FnMut(&mut Program<'_>, &ReplanContext) -> TransferHandle,
+{
+    assert!(policy.max_attempts > 0, "need at least one attempt");
+    let mut remaining = total_bytes;
+    let mut not_before = 0.0f64;
+    let mut attempt = 0u32;
+    loop {
+        let mut prog = Program::new(machine);
+        let gate = (not_before > 0.0).then(|| {
+            prog.add_spec(TransferSpec::new(src.0, src.0, 0, Vec::new()).not_before(not_before))
+        });
+        let ctx = ReplanContext {
+            attempt,
+            not_before,
+            bytes: remaining,
+            health: HealthMask::at(machine, faults, not_before),
+            gate,
+        };
+        let handle = plan(&mut prog, &ctx);
+        assert!(
+            remaining == 0 || handle.bytes > 0,
+            "re-plan scheduled no bytes with {remaining} remaining"
+        );
+        let report = prog.run_with_faults(faults);
+        let specs = prog.graph().specs();
+        let arrived: u64 = handle
+            .tokens
+            .iter()
+            .filter(|t| report.status_of(**t) == TransferStatus::Delivered)
+            .map(|t| specs[t.index()].bytes)
+            .sum();
+        remaining = remaining.saturating_sub(arrived);
+        attempt += 1;
+        if remaining == 0 {
+            return ResilientOutcome {
+                delivered: true,
+                attempts: attempt,
+                completion_time: handle.completed_at(&report),
+                bytes_delivered: total_bytes,
+                report,
+            };
+        }
+        if attempt >= policy.max_attempts {
+            return ResilientOutcome {
+                delivered: false,
+                attempts: attempt,
+                completion_time: f64::INFINITY,
+                bytes_delivered: total_bytes - remaining,
+                report,
+            };
+        }
+        // Exponential backoff from when this attempt stopped making
+        // progress, charged to the simulation clock.
+        not_before = report.end_time
+            + policy.base_backoff * policy.backoff_factor.powi(attempt as i32 - 1);
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +473,140 @@ mod tests {
         let t = p.put(NodeId(0), NodeId(31), 4096);
         let rep = p.run();
         assert!(rep.delivered_at(t) > 0.0);
+    }
+
+    // ---- fault-aware retry loop ----
+
+    use crate::program::{run_resilient, RetryPolicy};
+    use bgq_netsim::FaultPlan;
+
+    const RETRY_BYTES: u64 = 1 << 20;
+
+    /// Time a clean direct put src -> dst takes on `m`.
+    fn direct_time(m: &Machine, src: NodeId, dst: NodeId) -> f64 {
+        let mut p = Program::new(m);
+        let t = p.put(src, dst, RETRY_BYTES);
+        p.run().delivered_at(t)
+    }
+
+    #[test]
+    fn resilient_run_without_faults_is_one_attempt() {
+        let m = machine();
+        let (src, dst) = (NodeId(0), NodeId(127));
+        let t0 = direct_time(&m, src, dst);
+        let out = run_resilient(
+            &m,
+            &FaultPlan::new(),
+            &RetryPolicy::default(),
+            src,
+            RETRY_BYTES,
+            |p, ctx| {
+                assert!(ctx.gate.is_none(), "first attempt is ungated");
+                let deps = ctx.gate.into_iter().collect();
+                let t = p.put_after(src, dst, ctx.bytes, deps, 0.0);
+                TransferHandle { tokens: vec![t], bytes: ctx.bytes }
+            },
+        );
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 1);
+        assert!((out.completion_time - t0).abs() < 1e-12);
+        assert_eq!(out.bytes_delivered, RETRY_BYTES);
+    }
+
+    #[test]
+    fn permanent_fault_on_fixed_route_exhausts_attempts() {
+        let m = machine();
+        let (src, dst) = (NodeId(0), NodeId(127));
+        let t0 = direct_time(&m, src, dst);
+        let first_link = m.route_resources(src, dst)[0];
+        let plan = FaultPlan::new().fail_link(0.5 * t0, first_link);
+        let policy = RetryPolicy { max_attempts: 3, ..Default::default() };
+        let out = run_resilient(&m, &plan, &policy, src, RETRY_BYTES, |p, ctx| {
+            // A planner that refuses to learn: always the direct route.
+            let deps = ctx.gate.into_iter().collect();
+            let t = p.put_after(src, dst, ctx.bytes, deps, 0.0);
+            TransferHandle { tokens: vec![t], bytes: ctx.bytes }
+        });
+        assert!(!out.delivered);
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.completion_time, f64::INFINITY);
+        assert_eq!(out.bytes_delivered, 0);
+    }
+
+    #[test]
+    fn replanning_around_a_dead_link_succeeds() {
+        let m = machine();
+        let (src, dst) = (NodeId(0), NodeId(127));
+        let t0 = direct_time(&m, src, dst);
+        let first_link = m.route_resources(src, dst)[0];
+        let plan = FaultPlan::new().fail_link(0.5 * t0, first_link);
+        let out = run_resilient(
+            &m,
+            &plan,
+            &RetryPolicy::default(),
+            src,
+            RETRY_BYTES,
+            |p, ctx| {
+                let deps: Vec<_> = ctx.gate.into_iter().collect();
+                if ctx.health.is_healthy() {
+                    // Nothing failed yet as far as the planner knows.
+                    let t = p.put_after(src, dst, ctx.bytes, deps, 0.0);
+                    return TransferHandle { tokens: vec![t], bytes: ctx.bytes };
+                }
+                // Detour through a node whose two-leg path avoids every
+                // dead link.
+                let dead: Vec<_> = ctx
+                    .health
+                    .dead_links
+                    .iter()
+                    .map(|l| p.machine().torus_resource(*l))
+                    .collect();
+                let via = (1..m.num_nodes())
+                    .map(NodeId)
+                    .find(|&v| {
+                        v != src
+                            && v != dst
+                            && !m
+                                .route_resources(src, v)
+                                .iter()
+                                .chain(m.route_resources(v, dst).iter())
+                                .any(|r| dead.contains(r))
+                    })
+                    .expect("a detour must exist");
+                let leg1 = p.put_after(src, via, ctx.bytes, deps, 0.0);
+                let leg2 = p.put_after(via, dst, ctx.bytes, vec![leg1], 0.0);
+                TransferHandle { tokens: vec![leg2], bytes: ctx.bytes }
+            },
+        );
+        assert!(out.delivered, "re-plan must route around the dead link");
+        assert_eq!(out.attempts, 2);
+        assert!(out.completion_time.is_finite() && out.completion_time > t0);
+        assert_eq!(out.bytes_delivered, RETRY_BYTES);
+    }
+
+    #[test]
+    fn transient_fault_heals_within_one_attempt() {
+        let m = machine();
+        let (src, dst) = (NodeId(0), NodeId(127));
+        let t0 = direct_time(&m, src, dst);
+        let first_link = m.route_resources(src, dst)[0];
+        let plan = FaultPlan::new()
+            .fail_link(0.5 * t0, first_link)
+            .restore_link(0.6 * t0, first_link);
+        let out = run_resilient(
+            &m,
+            &plan,
+            &RetryPolicy::default(),
+            src,
+            RETRY_BYTES,
+            |p, ctx| {
+                let deps = ctx.gate.into_iter().collect();
+                let t = p.put_after(src, dst, ctx.bytes, deps, 0.0);
+                TransferHandle { tokens: vec![t], bytes: ctx.bytes }
+            },
+        );
+        assert!(out.delivered, "the engine itself rides out transient faults");
+        assert_eq!(out.attempts, 1, "no retry needed");
+        assert!(out.completion_time > t0, "but the outage cost time");
     }
 }

@@ -13,6 +13,7 @@
 //! even IONs whose own compute nodes hold no data.
 
 use crate::error::SdmError;
+use bgq_comm::HealthMask;
 use bgq_torus::{Coord, IoLayout, NodeId, PsetId, NDIMS};
 
 /// The candidate aggregator counts per I/O node (the paper's list `P`).
@@ -213,6 +214,31 @@ impl AggregatorTable {
     pub fn select(&self, total_bytes: u64, min_agg_bytes: u64) -> (u32, &[NodeId]) {
         let c = self.select_count(total_bytes, min_agg_bytes);
         (c, self.aggregators(c))
+    }
+
+    /// The aggregators for `per_ion`, with nodes that are down in `health`
+    /// filtered out. The survivors keep their placement order, so with a
+    /// healthy mask this equals [`AggregatorTable::aggregators`].
+    ///
+    /// The filtered set loses the exactly-`per_ion`-per-pset property, so
+    /// it pairs with [`AssignPolicy::BalancedGreedy`] (which only needs a
+    /// flat set), not `PsetLocal`. Errors with
+    /// [`SdmError::NoHealthyAggregators`] when nothing survives.
+    pub fn try_healthy_aggregators(
+        &self,
+        per_ion: u32,
+        health: &HealthMask,
+    ) -> Result<Vec<NodeId>, SdmError> {
+        let all = self.try_aggregators(per_ion)?;
+        let alive: Vec<NodeId> = all
+            .iter()
+            .copied()
+            .filter(|n| !health.down_nodes.contains(n))
+            .collect();
+        if alive.is_empty() {
+            return Err(SdmError::NoHealthyAggregators);
+        }
+        Ok(alive)
     }
 }
 
@@ -479,6 +505,51 @@ mod tests {
         assert!(asg.iter().all(|a| a.bytes <= 8 << 20));
         assert_eq!(asg.iter().map(|a| a.bytes).sum::<u64>(), 33 << 20);
         assert!(asg.len() >= 5);
+    }
+
+    #[test]
+    fn healthy_mask_keeps_every_aggregator() {
+        let l = layout(512);
+        let t = AggregatorTable::precompute(&l);
+        let alive = t
+            .try_healthy_aggregators(4, &HealthMask::healthy())
+            .unwrap();
+        assert_eq!(alive, t.aggregators(4).to_vec());
+    }
+
+    #[test]
+    fn down_aggregators_are_filtered_out() {
+        let l = layout(512);
+        let t = AggregatorTable::precompute(&l);
+        let all = t.aggregators(4);
+        let mut health = HealthMask::healthy();
+        health.down_nodes.insert(all[0]);
+        health.down_nodes.insert(all[3]);
+        let alive = t.try_healthy_aggregators(4, &health).unwrap();
+        assert_eq!(alive.len(), all.len() - 2);
+        assert!(alive.iter().all(|n| !health.down_nodes.contains(n)));
+        // Survivors still balance a skewed request.
+        let asg = assign_data(
+            &[(NodeId(7), 64u64 << 20)],
+            &alive,
+            &l,
+            8 << 20,
+            AssignPolicy::BalancedGreedy,
+        );
+        assert_eq!(asg.iter().map(|a| a.bytes).sum::<u64>(), 64 << 20);
+        assert!(asg.iter().all(|a| !health.down_nodes.contains(&a.to)));
+    }
+
+    #[test]
+    fn all_aggregators_down_is_an_error() {
+        let l = layout(128);
+        let t = AggregatorTable::precompute(&l);
+        let mut health = HealthMask::healthy();
+        health.down_nodes.extend(t.aggregators(1).iter().copied());
+        assert_eq!(
+            t.try_healthy_aggregators(1, &health).unwrap_err(),
+            SdmError::NoHealthyAggregators
+        );
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub enum SdmError {
     NonPositiveChunk,
     /// An assignment references a node that is not in the aggregator set.
     UnknownAggregator(NodeId),
+    /// A transfer endpoint is down in the supplied health mask; no plan
+    /// can deliver to or from a failed node.
+    EndpointDown(NodeId),
+    /// Every precomputed aggregator for the requested count is on a down
+    /// node; the collective cannot be staged until something recovers.
+    NoHealthyAggregators,
 }
 
 impl std::fmt::Display for SdmError {
@@ -42,6 +48,12 @@ impl std::fmt::Display for SdmError {
             SdmError::NonPositiveChunk => write!(f, "max_chunk must be positive"),
             SdmError::UnknownAggregator(n) => {
                 write!(f, "assignment targets unknown aggregator {n}")
+            }
+            SdmError::EndpointDown(n) => {
+                write!(f, "transfer endpoint {n} is down")
+            }
+            SdmError::NoHealthyAggregators => {
+                write!(f, "no healthy aggregators at the requested count")
             }
         }
     }

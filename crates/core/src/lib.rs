@@ -63,14 +63,15 @@ pub use io_move::{
 };
 pub use model::CostModel;
 pub use multipath::{
-    plan_direct, plan_direct_dynamic, plan_group_direct, plan_group_via, plan_via_proxies,
-    split_chunks, MultipathOptions, TransferHandle,
+    plan_direct, plan_direct_dynamic, plan_direct_gated, plan_group_direct, plan_group_via,
+    plan_via_proxies, split_chunks, MultipathOptions, TransferHandle,
 };
 pub use setup::{
     add_coupling_setup, coupling_init_cost, proxy_search_cost_model, COORD_BYTES,
 };
 pub use planner::{Decision, DirectReason, SparseMover};
 pub use proxy::{
-    displace_group, find_proxies, find_proxy_groups, find_proxy_groups_global,
-    proxy_groups_along, ProxyGroup, ProxyPath, ProxySearchConfig, ProxySelection,
+    displace_group, find_proxies, find_proxies_avoiding, find_proxy_groups,
+    find_proxy_groups_global, proxy_groups_along, ProxyGroup, ProxyPath, ProxySearchConfig,
+    ProxySelection,
 };

@@ -10,11 +10,11 @@ use crate::error::SdmError;
 use crate::io_move::{plan_topology_aware_write, IoMoveOptions, IoMovePlan};
 use crate::model::CostModel;
 use crate::multipath::{
-    plan_direct, plan_group_direct, plan_group_via, plan_via_proxies, MultipathOptions,
-    TransferHandle,
+    plan_direct, plan_direct_gated, plan_group_direct, plan_group_via, plan_via_proxies,
+    MultipathOptions, TransferHandle,
 };
-use crate::proxy::{find_proxies, find_proxy_groups, ProxySearchConfig};
-use bgq_comm::{Machine, Program};
+use crate::proxy::{find_proxies, find_proxies_avoiding, find_proxy_groups, ProxySearchConfig};
+use bgq_comm::{HealthMask, Machine, Program};
 use bgq_torus::NodeId;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -155,6 +155,65 @@ impl<'m> SparseMover<'m> {
         let handle =
             plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
         (handle, Decision::Multipath { paths: k })
+    }
+
+    /// Plan a point-to-point transfer under a network [`HealthMask`]:
+    /// proxies route around dead links and down nodes, and a dead link on
+    /// the deterministic direct route *forces* multipath (with the
+    /// minimum-useful-proxies rule relaxed to 1 — any surviving detour
+    /// beats a route that delivers nothing), overriding the cost model's
+    /// below-threshold verdict. With a healthy mask this decides exactly
+    /// like [`SparseMover::plan_transfer`], except that the direct
+    /// fallback honors `MultipathOptions::gate` so retry loops can chain
+    /// attempts.
+    ///
+    /// Errors with [`SdmError::EndpointDown`] when `src` or `dst` itself
+    /// is down — no plan can help then; the caller should back off and
+    /// re-query the mask later.
+    pub fn try_plan_transfer_resilient(
+        &self,
+        prog: &mut Program<'_>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        health: &HealthMask,
+    ) -> Result<(TransferHandle, Decision), SdmError> {
+        if health.down_nodes.contains(&src) {
+            return Err(SdmError::EndpointDown(src));
+        }
+        if health.down_nodes.contains(&dst) {
+            return Err(SdmError::EndpointDown(dst));
+        }
+        let shape = self.machine.shape();
+        let zone = self.machine.zone();
+        let direct_dead = bgq_torus::route(shape, src, dst, zone)
+            .links
+            .iter()
+            .any(|l| health.dead_links.contains(l));
+        let search = if direct_dead {
+            ProxySearchConfig {
+                min_proxies: 1,
+                ..self.search.clone()
+            }
+        } else {
+            self.search.clone()
+        };
+        let sel = find_proxies_avoiding(shape, zone, src, dst, &HashSet::new(), &search, health);
+        if sel.is_empty() {
+            return Ok((
+                plan_direct_gated(prog, src, dst, bytes, &self.multipath),
+                Decision::Direct(DirectReason::NoDisjointPaths),
+            ));
+        }
+        let k = sel.len() as u32;
+        if !direct_dead && !self.model.should_use_proxies(bytes, k) {
+            return Ok((
+                plan_direct_gated(prog, src, dst, bytes, &self.multipath),
+                Decision::Direct(DirectReason::BelowThreshold),
+            ));
+        }
+        let handle = plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
+        Ok((handle, Decision::Multipath { paths: k }))
     }
 
     /// Plan a group-to-group coupling (`sources[i] → dests[i]`, `bytes`
@@ -300,6 +359,83 @@ mod tests {
         let mut p = Program::new(&m);
         let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(1), 128 << 20);
         assert_eq!(d, Decision::Direct(DirectReason::NoDisjointPaths));
+    }
+
+    #[test]
+    fn resilient_plan_with_healthy_mask_matches_plain_decision() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        for bytes in [4096u64, 32 << 20] {
+            let mut p1 = Program::new(&m);
+            let (_, plain) = mover.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
+            let mut p2 = Program::new(&m);
+            let (_, resilient) = mover
+                .try_plan_transfer_resilient(
+                    &mut p2,
+                    NodeId(0),
+                    NodeId(127),
+                    bytes,
+                    &HealthMask::healthy(),
+                )
+                .unwrap();
+            assert_eq!(plain, resilient, "at {bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn dead_direct_route_forces_multipath() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let first_link = bgq_torus::route(m.shape(), NodeId(0), NodeId(127), m.zone()).links[0];
+        let mut health = HealthMask::healthy();
+        health.dead_links.insert(first_link);
+        // 4 KiB is deep below the threshold, yet direct would deliver
+        // nothing — the planner must detour.
+        let mut p = Program::new(&m);
+        let (_, d) = mover
+            .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 4096, &health)
+            .unwrap();
+        assert!(matches!(d, Decision::Multipath { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn resilient_multipath_survives_a_fault_the_direct_plan_does_not() {
+        use bgq_netsim::{FaultPlan, ResourceId};
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let bytes = 32u64 << 20;
+        let first_link = bgq_torus::route(m.shape(), NodeId(0), NodeId(127), m.zone()).links[0];
+        // The link dies before any transfer starts and never recovers.
+        let plan = FaultPlan::new().fail_link(0.0, ResourceId(first_link.0));
+        let health = HealthMask::at(&m, &plan, 0.0);
+
+        let mut pd = Program::new(&m);
+        let hd = crate::multipath::plan_direct(&mut pd, NodeId(0), NodeId(127), bytes);
+        let rd = pd.run_with_faults(&plan);
+        assert!(!rd.all_delivered(), "direct over the dead link must stall");
+        assert!(hd.completed_at(&rd).is_infinite());
+
+        let mut pm = Program::new(&m);
+        let (hm, d) = mover
+            .try_plan_transfer_resilient(&mut pm, NodeId(0), NodeId(127), bytes, &health)
+            .unwrap();
+        assert!(matches!(d, Decision::Multipath { .. }));
+        let rm = pm.run_with_faults(&plan);
+        assert!(rm.all_delivered(), "health-aware multipath must complete");
+        assert!(hm.completed_at(&rm).is_finite());
+    }
+
+    #[test]
+    fn down_endpoint_is_an_error() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let mut health = HealthMask::healthy();
+        health.down_nodes.insert(NodeId(127));
+        let mut p = Program::new(&m);
+        let err = mover
+            .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 1 << 20, &health)
+            .unwrap_err();
+        assert_eq!(err, SdmError::EndpointDown(NodeId(127)));
     }
 
     #[test]

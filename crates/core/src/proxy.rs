@@ -15,6 +15,7 @@
 //! the cost model) are found, the search reports failure and the caller
 //! falls back to a direct transfer.
 
+use bgq_comm::HealthMask;
 use bgq_torus::{route, Dim, Direction, NodeId, Route, Shape, Sign, Zone};
 use std::collections::HashSet;
 
@@ -139,6 +140,26 @@ pub fn find_proxies(
     forbidden: &HashSet<NodeId>,
     cfg: &ProxySearchConfig,
 ) -> ProxySelection {
+    find_proxies_avoiding(shape, zone, src, dst, forbidden, cfg, &HealthMask::healthy())
+}
+
+/// [`find_proxies`] under a network [`HealthMask`]: candidates on a down
+/// node are skipped, and a path is rejected if either of its segments
+/// crosses a dead link. The dead links are seeded into the same `used` set
+/// that enforces link-disjointness, so the search routes around failures
+/// with no extra passes.
+///
+/// With a healthy mask this is exactly `find_proxies` — the seed set is
+/// empty and no node is skipped.
+pub fn find_proxies_avoiding(
+    shape: &Shape,
+    zone: Zone,
+    src: NodeId,
+    dst: NodeId,
+    forbidden: &HashSet<NodeId>,
+    cfg: &ProxySearchConfig,
+    health: &HealthMask,
+) -> ProxySelection {
     let src_c = shape.coord(src);
     let dst_c = shape.coord(dst);
     let hops = shape.hops_per_dim(src_c, dst_c);
@@ -149,7 +170,9 @@ pub fn find_proxies(
     let mut dims: Vec<Dim> = Dim::ALL.to_vec();
     dims.sort_by_key(|d| std::cmp::Reverse(hops[d.index()]));
 
-    let mut used: HashSet<bgq_torus::LinkId> = HashSet::new();
+    // Dead links count as "already claimed": try_candidate then rejects
+    // any path that would cross one.
+    let mut used: HashSet<bgq_torus::LinkId> = health.dead_links.iter().copied().collect();
     let mut paths: Vec<ProxyPath> = Vec::new();
 
     'dirs: for dim in dims {
@@ -171,7 +194,7 @@ pub fn find_proxies(
                 from_dst = shape.neighbor(from_dst, dir);
                 for c in [from_src, from_dst] {
                     let p = shape.node_id(c);
-                    if forbidden.contains(&p) {
+                    if forbidden.contains(&p) || health.down_nodes.contains(&p) {
                         continue;
                     }
                     if let Some(path) = try_candidate(shape, zone, src, dst, p, &used) {
@@ -592,6 +615,88 @@ mod tests {
             },
         );
         assert!(global.len() <= per_source.len().max(1));
+    }
+
+    #[test]
+    fn healthy_mask_reproduces_the_plain_search() {
+        let shape = standard_shape(128).unwrap();
+        let plain = find_proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+        );
+        let masked = find_proxies_avoiding(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+            &HealthMask::healthy(),
+        );
+        assert_eq!(plain.proxies(), masked.proxies());
+    }
+
+    #[test]
+    fn health_aware_search_routes_around_dead_links() {
+        let shape = standard_shape(128).unwrap();
+        let free = find_proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+        );
+        assert!(free.len() >= 4);
+        // Kill every link of the first selected path.
+        let mut health = HealthMask::healthy();
+        health.dead_links.extend(path_links(&free.paths[0]));
+        let sel = find_proxies_avoiding(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+            &health,
+        );
+        assert!(sel.len() >= 3, "survivors must still form a selection");
+        for p in &sel.paths {
+            for l in path_links(p) {
+                assert!(!health.dead_links.contains(&l), "path crosses dead link {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn health_aware_search_skips_down_nodes() {
+        let shape = standard_shape(128).unwrap();
+        let free = find_proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+        );
+        let mut health = HealthMask::healthy();
+        health.down_nodes.extend(free.proxies());
+        let sel = find_proxies_avoiding(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+            &health,
+        );
+        for p in sel.proxies() {
+            assert!(!health.down_nodes.contains(&p), "selected a down node {p}");
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! event orderings and timings.
 
 use crate::config::SimConfig;
-use crate::graph::{TransferGraph, TransferId};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::graph::{TransferGraph, TransferId, TransferSpec};
 use crate::waterfill::{FlowDemand, Waterfill};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -25,15 +26,38 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Bytes below which a flow is considered complete (absorbs float error).
 const BYTE_EPS: f64 = 1e-3;
 
+/// Final state of one transfer in a [`SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// Delivered at the destination.
+    Delivered,
+    /// The flow started but a fault on its route or endpoints kept it
+    /// from completing before the event queue drained.
+    Stalled,
+    /// Never started: its dependencies never delivered or its source
+    /// node stayed down.
+    NotStarted,
+}
+
 /// Result of executing a transfer graph.
 #[derive(Debug, Clone)]
 pub struct SimReport {
-    /// Delivery time of each transfer (same indexing as the graph).
+    /// Delivery time of each transfer (same indexing as the graph);
+    /// `f64::INFINITY` for transfers that never delivered.
     pub delivery_time: Vec<f64>,
-    /// Time each transfer's flow started moving bytes (injection complete).
+    /// Time each transfer's flow started moving bytes (injection
+    /// complete); `f64::INFINITY` for transfers that never started.
     pub flow_start_time: Vec<f64>,
-    /// Time the last transfer was delivered.
+    /// Final status of each transfer. Without faults every entry is
+    /// [`TransferStatus::Delivered`].
+    pub status: Vec<TransferStatus>,
+    /// Time the last transfer was delivered; `f64::INFINITY` if any
+    /// transfer never delivered.
     pub makespan: f64,
+    /// Simulation clock when the event queue drained. Unlike `makespan`
+    /// this stays finite under faults — it is when the run stopped making
+    /// progress, the natural epoch for a re-plan.
+    pub end_time: f64,
     /// Total payload bytes moved.
     pub total_bytes: u64,
     /// Bytes carried per resource (only if `collect_link_stats`).
@@ -41,13 +65,33 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Aggregate throughput: total bytes over the makespan.
+    /// Aggregate throughput: total bytes over the makespan. Zero when any
+    /// transfer never delivered (infinite makespan) — undelivered data
+    /// must not be averaged into a finite rate.
     pub fn aggregate_throughput(&self) -> f64 {
-        if self.makespan > 0.0 {
+        if self.makespan > 0.0 && self.makespan.is_finite() {
             self.total_bytes as f64 / self.makespan
         } else {
             0.0
         }
+    }
+
+    /// Whether every transfer was delivered.
+    pub fn all_delivered(&self) -> bool {
+        self.status.iter().all(|&s| s == TransferStatus::Delivered)
+    }
+
+    /// Number of delivered transfers.
+    pub fn num_delivered(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|&&s| s == TransferStatus::Delivered)
+            .count()
+    }
+
+    /// Final status of one transfer.
+    pub fn status_of(&self, id: TransferId) -> TransferStatus {
+        self.status[id.index()]
     }
 
     /// Delivery time of one transfer.
@@ -83,6 +127,8 @@ enum Event {
     FlowCheck { epoch: u64 },
     /// Transfer delivered at the destination.
     Delivered(u32),
+    /// Scheduled fault (index into the run's `FaultPlan`).
+    Fault(u32),
 }
 
 /// Time ordering key: total order on f64 plus a sequence number so
@@ -146,8 +192,29 @@ impl Simulator {
     /// Panics if a transfer references a node `>= num_nodes` or a resource
     /// outside the capacity table.
     pub fn run(&self, graph: &TransferGraph) -> SimReport {
+        self.run_with_faults(graph, &FaultPlan::default())
+    }
+
+    /// Execute `graph` under a fault schedule.
+    ///
+    /// An empty plan is exactly [`run`](Simulator::run): no fault state is
+    /// allocated and the event sequence (and every float operation) is
+    /// identical. With faults, each event applies at its timestamp — link
+    /// capacities change and the waterfill re-runs at the fault epoch;
+    /// flows whose route crosses a dead link or whose endpoint node is
+    /// down stall (moving no bytes, consuming no bandwidth) until the
+    /// fault heals. Transfers still undelivered when the event queue
+    /// drains report `f64::INFINITY` times and a
+    /// [`TransferStatus::Stalled`]/[`TransferStatus::NotStarted`] status
+    /// instead of panicking.
+    ///
+    /// # Panics
+    /// Panics if the graph or the plan references a node or resource
+    /// outside the network.
+    pub fn run_with_faults(&self, graph: &TransferGraph, faults: &FaultPlan) -> SimReport {
         let n = graph.len();
         let specs = graph.specs();
+        let have_faults = !faults.is_empty();
 
         // Dependency bookkeeping.
         let mut remaining_deps: Vec<u32> = specs.iter().map(|s| s.deps.len() as u32).collect();
@@ -159,6 +226,18 @@ impl Simulator {
             );
             for d in &s.deps {
                 children[d.index()].push(i as u32);
+            }
+        }
+        for ev in faults.events() {
+            match ev.kind {
+                FaultKind::LinkFactor { resource, .. } => assert!(
+                    (resource.0 as usize) < self.capacities.len(),
+                    "fault references resource outside the capacity table"
+                ),
+                FaultKind::NodeDown { node } | FaultKind::NodeUp { node } => assert!(
+                    node < self.num_nodes,
+                    "fault references node outside the network"
+                ),
             }
         }
 
@@ -174,6 +253,14 @@ impl Simulator {
             }));
         };
 
+        // Fault schedule first: at equal timestamps a fault applies before
+        // any flow event (lower sequence numbers win ties).
+        if have_faults {
+            for (i, ev) in faults.events().iter().enumerate() {
+                push(&mut heap, &mut seq, ev.time, Event::Fault(i as u32));
+            }
+        }
+
         // Seed: transfers with no dependencies become ready at start_at +
         // extra_delay.
         for (i, s) in specs.iter().enumerate() {
@@ -182,6 +269,26 @@ impl Simulator {
                 push(&mut heap, &mut seq, t, Event::Ready(i as u32));
             }
         }
+
+        // Fault state, allocated only when a plan is present.
+        let mut eff_caps: Vec<f64> = Vec::new();
+        let mut dead: Vec<bool> = Vec::new();
+        let mut node_down: Vec<bool> = Vec::new();
+        // Injections that arrived while their source node was down.
+        let mut parked: Vec<Vec<u32>> = Vec::new();
+        // Flows frozen by a dead link / down endpoint on their route.
+        let mut stalled: Vec<ActiveFlow> = Vec::new();
+        if have_faults {
+            eff_caps = self.capacities.clone();
+            dead = vec![false; self.capacities.len()];
+            node_down = vec![false; self.num_nodes as usize];
+            parked = vec![Vec::new(); self.num_nodes as usize];
+        }
+        let is_blocked = |dead: &[bool], node_down: &[bool], spec: &TransferSpec| {
+            spec.route.iter().any(|r| dead[r.0 as usize])
+                || node_down[spec.src as usize]
+                || node_down[spec.dst as usize]
+        };
 
         // Per-node injection CPU.
         let mut cpu_queue: Vec<VecDeque<u32>> = vec![VecDeque::new(); self.num_nodes as usize];
@@ -194,8 +301,8 @@ impl Simulator {
         let mut rates_dirty = false;
         let mut epoch: u64 = 0;
 
-        let mut delivery_time = vec![f64::NAN; n];
-        let mut flow_start_time = vec![f64::NAN; n];
+        let mut delivery_time = vec![f64::INFINITY; n];
+        let mut flow_start_time = vec![f64::INFINITY; n];
         let mut delivered_count: usize = 0;
         let mut resource_bytes = if self.config.collect_link_stats {
             Some(vec![0.0f64; self.capacities.len()])
@@ -226,7 +333,10 @@ impl Simulator {
             match entry.event {
                 Event::Ready(tid) => {
                     let node = specs[tid as usize].src as usize;
-                    if cpu_busy[node] {
+                    if have_faults && node_down[node] {
+                        // Source is down: park until the node recovers.
+                        parked[node].push(tid);
+                    } else if cpu_busy[node] {
                         cpu_queue[node].push_back(tid);
                     } else {
                         cpu_busy[node] = true;
@@ -241,8 +351,12 @@ impl Simulator {
                 Event::InjectionDone(tid) => {
                     let spec = &specs[tid as usize];
                     let node = spec.src as usize;
-                    // Start the next queued injection on this node.
-                    if let Some(next) = cpu_queue[node].pop_front() {
+                    // Start the next queued injection on this node (a node
+                    // that went down mid-injection resumes its queue on
+                    // recovery instead).
+                    if have_faults && node_down[node] {
+                        cpu_busy[node] = false;
+                    } else if let Some(next) = cpu_queue[node].pop_front() {
                         push(
                             &mut heap,
                             &mut seq,
@@ -258,6 +372,13 @@ impl Simulator {
                         let lat = spec.route.len() as f64 * self.config.hop_latency
                             + self.config.recv_overhead;
                         push(&mut heap, &mut seq, now + lat, Event::Delivered(tid));
+                    } else if have_faults && is_blocked(&dead, &node_down, spec) {
+                        // Born stalled: wait for the fault to heal.
+                        stalled.push(ActiveFlow {
+                            tid,
+                            remaining: spec.bytes as f64,
+                            rate: 0.0,
+                        });
                     } else {
                         active.push(ActiveFlow {
                             tid,
@@ -311,6 +432,59 @@ impl Simulator {
                         }
                     }
                 }
+                Event::Fault(fi) => {
+                    match faults.events()[fi as usize].kind {
+                        FaultKind::LinkFactor { resource, factor } => {
+                            let ri = resource.0 as usize;
+                            eff_caps[ri] = self.capacities[ri] * factor;
+                            dead[ri] = factor == 0.0;
+                        }
+                        FaultKind::NodeDown { node } => node_down[node as usize] = true,
+                        FaultKind::NodeUp { node } => {
+                            let ni = node as usize;
+                            node_down[ni] = false;
+                            // Re-ready injections parked while down (in
+                            // arrival order: the push seq preserves it).
+                            for tid in std::mem::take(&mut parked[ni]) {
+                                push(&mut heap, &mut seq, now, Event::Ready(tid));
+                            }
+                            // Resume an injection queue left idle when the
+                            // node failed mid-injection.
+                            if !cpu_busy[ni] {
+                                if let Some(next) = cpu_queue[ni].pop_front() {
+                                    cpu_busy[ni] = true;
+                                    push(
+                                        &mut heap,
+                                        &mut seq,
+                                        now + self.config.send_overhead,
+                                        Event::InjectionDone(next),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Re-partition running vs. stalled flows under the new
+                    // health state, preserving arrival order (determinism).
+                    let mut i = 0;
+                    while i < active.len() {
+                        if is_blocked(&dead, &node_down, &specs[active[i].tid as usize]) {
+                            let mut f = active.remove(i);
+                            f.rate = 0.0;
+                            stalled.push(f);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let mut i = 0;
+                    while i < stalled.len() {
+                        if !is_blocked(&dead, &node_down, &specs[stalled[i].tid as usize]) {
+                            active.push(stalled.remove(i));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    rates_dirty = true;
+                }
             }
 
             // Recompute fair shares once all events at this instant are
@@ -332,9 +506,16 @@ impl Simulator {
                             }
                         })
                         .collect();
+                    // Stalled flows are excluded from the demand set, so no
+                    // route ever crosses a zero-capacity (dead) resource.
+                    let caps: &[f64] = if have_faults {
+                        &eff_caps
+                    } else {
+                        &self.capacities
+                    };
                     waterfill.compute_with_penalty(
                         &demands,
-                        &self.capacities,
+                        caps,
                         self.config.contention_penalty,
                         self.config.contention_floor,
                         &mut rates_scratch,
@@ -351,17 +532,38 @@ impl Simulator {
                 }
                 rates_dirty = false;
             }
+
+            // With faults the heap may hold events past the last delivery
+            // (recoveries, stale checks); stop once everything arrived.
+            if have_faults && delivered_count == n {
+                break;
+            }
         }
 
-        assert_eq!(
-            delivered_count, n,
-            "simulation ended with undelivered transfers (dependency deadlock?)"
-        );
+        if !have_faults {
+            assert_eq!(
+                delivered_count, n,
+                "simulation ended with undelivered transfers (dependency deadlock?)"
+            );
+        }
+        let status: Vec<TransferStatus> = (0..n)
+            .map(|i| {
+                if delivery_time[i].is_finite() {
+                    TransferStatus::Delivered
+                } else if flow_start_time[i].is_finite() {
+                    TransferStatus::Stalled
+                } else {
+                    TransferStatus::NotStarted
+                }
+            })
+            .collect();
         let makespan = delivery_time.iter().copied().fold(0.0, f64::max);
         SimReport {
             delivery_time,
             flow_start_time,
+            status,
             makespan,
+            end_time: now,
             total_bytes: graph.total_bytes(),
             resource_bytes,
         }
@@ -570,5 +772,158 @@ mod tests {
         // a: 2.0. b ready 2.0, inject 3.0, done 4.0. c queued behind b's
         // injection: inject at 4.0, done 5.0. d after max(b,c)=5: 7.0.
         assert!((t_d - 7.0).abs() < 1e-6, "{t_d}");
+    }
+
+    // ---- fault injection ----
+
+    use crate::fault::FaultPlan;
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let s = sim(3, vec![100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(1, 2, 700, vec![ResourceId(0)]));
+        let a = s.run(&g);
+        let b = s.run_with_faults(&g, &FaultPlan::new());
+        assert_eq!(a.delivery_time, b.delivery_time);
+        assert_eq!(a.flow_start_time, b.flow_start_time);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.status, b.status);
+    }
+
+    #[test]
+    fn dead_link_stalls_the_flow() {
+        // 1000 bytes at 100 B/s, injected at t=1; the link dies at t=6
+        // (500 bytes moved) and never recovers.
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
+        let rep = s.run_with_faults(&g, &plan);
+        assert_eq!(rep.status_of(t), TransferStatus::Stalled);
+        assert_eq!(rep.delivered_at(t), f64::INFINITY);
+        assert_eq!(rep.makespan, f64::INFINITY);
+        assert_eq!(rep.aggregate_throughput(), 0.0);
+        assert!(!rep.all_delivered());
+        // The queue drains at the (stale) completion check armed before
+        // the fault; end_time is finite and past the fault instant.
+        assert!(rep.end_time.is_finite() && rep.end_time >= 6.0, "{}", rep.end_time);
+    }
+
+    #[test]
+    fn link_recovery_resumes_the_flow() {
+        // Dies at t=6 with 500 bytes left, heals at t=16: delivery at
+        // 16 + 500/100 = 21.
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new()
+            .fail_link(6.0, ResourceId(0))
+            .restore_link(16.0, ResourceId(0));
+        let rep = s.run_with_faults(&g, &plan);
+        assert_eq!(rep.status_of(t), TransferStatus::Delivered);
+        assert!((rep.delivered_at(t) - 21.0).abs() < 1e-6, "{}", rep.delivered_at(t));
+    }
+
+    #[test]
+    fn degraded_link_slows_the_flow() {
+        // Halved at t=6 with 500 bytes left: 500/50 more seconds -> 16.
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().degrade_link(6.0, ResourceId(0), 0.5);
+        let rep = s.run_with_faults(&g, &plan);
+        assert!((rep.delivered_at(t) - 16.0).abs() < 1e-6, "{}", rep.delivered_at(t));
+    }
+
+    #[test]
+    fn fault_on_unused_link_changes_nothing() {
+        let s = sim(2, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().fail_link(3.0, ResourceId(1));
+        let rep = s.run_with_faults(&g, &plan);
+        assert!((rep.delivered_at(t) - 11.0).abs() < 1e-9);
+        assert!(rep.all_delivered());
+    }
+
+    #[test]
+    fn down_node_parks_injection_until_recovery() {
+        // Node 0 down over [0, 5]: the transfer parks at Ready, resumes
+        // at t=5, injects until 6, 10 s of bytes -> delivered at 16.
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().fail_node(0.0, 0).restore_node(5.0, 0);
+        let rep = s.run_with_faults(&g, &plan);
+        assert!((rep.delivered_at(t) - 16.0).abs() < 1e-6, "{}", rep.delivered_at(t));
+    }
+
+    #[test]
+    fn down_destination_stalls_started_flow() {
+        let s = sim(2, vec![100.0]);
+        let mut g = TransferGraph::new();
+        let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().fail_node(6.0, 1);
+        let rep = s.run_with_faults(&g, &plan);
+        assert_eq!(rep.status_of(t), TransferStatus::Stalled);
+        assert!(rep.flow_start_time[t.index()].is_finite());
+    }
+
+    #[test]
+    fn never_started_transfer_reports_not_started() {
+        // b depends on a; a's link dies mid-flight, so b never readies.
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let b = g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(1)]).after(vec![a]));
+        let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
+        let rep = s.run_with_faults(&g, &plan);
+        assert_eq!(rep.status_of(a), TransferStatus::Stalled);
+        assert_eq!(rep.status_of(b), TransferStatus::NotStarted);
+        assert_eq!(rep.flow_start_time[b.index()], f64::INFINITY);
+        assert_eq!(rep.num_delivered(), 0);
+    }
+
+    #[test]
+    fn surviving_flow_proceeds_past_a_fault() {
+        // Two disjoint routes; killing route 0 leaves flow 1 untouched,
+        // and flow 1's completion frees nothing for the stalled flow.
+        let s = sim(4, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let b = g.add(TransferSpec::new(2, 3, 1000, vec![ResourceId(1)]));
+        let plan = FaultPlan::new().fail_link(2.0, ResourceId(0));
+        let rep = s.run_with_faults(&g, &plan);
+        assert_eq!(rep.status_of(a), TransferStatus::Stalled);
+        assert_eq!(rep.status_of(b), TransferStatus::Delivered);
+        assert!((rep.delivered_at(b) - 11.0).abs() < 1e-6);
+        assert_eq!(rep.num_delivered(), 1);
+    }
+
+    #[test]
+    fn stalled_flow_releases_bandwidth_to_sharers() {
+        // Two flows share link 0. Flow a also crosses link 1, which dies
+        // at t=6: flow b then runs alone at full rate.
+        // Both at 50 B/s over [1, 6] (250 moved each); b's remaining 750
+        // at 100 B/s -> delivered at 6 + 7.5 = 13.5.
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0), ResourceId(1)]));
+        let b = g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().fail_link(6.0, ResourceId(1));
+        let rep = s.run_with_faults(&g, &plan);
+        assert_eq!(rep.status_of(a), TransferStatus::Stalled);
+        assert!((rep.delivered_at(b) - 13.5).abs() < 1e-6, "{}", rep.delivered_at(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the capacity table")]
+    fn fault_on_unknown_resource_panics() {
+        let s = sim(2, vec![100.0]);
+        let g = TransferGraph::new();
+        let plan = FaultPlan::new().fail_link(1.0, ResourceId(9));
+        s.run_with_faults(&g, &plan);
     }
 }

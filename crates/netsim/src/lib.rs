@@ -28,13 +28,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod graph;
 pub mod stats;
 pub mod trace;
 pub mod waterfill;
 
 pub use config::SimConfig;
-pub use engine::{SimReport, Simulator};
+pub use engine::{SimReport, Simulator, TransferStatus};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use graph::{ResourceId, TransferGraph, TransferId, TransferSpec};
 pub use stats::{
     active_fraction, activity_timeline, node_traffic, stragglers, utilization,

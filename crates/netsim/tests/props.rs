@@ -175,6 +175,167 @@ proptest! {
     }
 }
 
+/// Strategy: capacities plus flows as (route, cap) with owned routes,
+/// feeding [`Waterfill`] directly (no engine in between).
+fn waterfill_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<u32>, f64)>)> {
+    (1usize..8).prop_flat_map(|r| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, r);
+        let flows = proptest::collection::vec(
+            (proptest::collection::vec(0..r as u32, 0..4), 0.5f64..500.0),
+            1..16,
+        );
+        (caps, flows)
+    })
+}
+
+fn waterfill_rates(caps: &[f64], flows: &[(Vec<u32>, f64)]) -> Vec<f64> {
+    let routes: Vec<Vec<ResourceId>> = flows
+        .iter()
+        .map(|(r, _)| r.iter().copied().map(ResourceId).collect())
+        .collect();
+    let demands: Vec<FlowDemand> = routes
+        .iter()
+        .zip(flows)
+        .map(|(route, (_, cap))| FlowDemand { route, cap: *cap })
+        .collect();
+    let mut wf = Waterfill::new(caps.len());
+    let mut rates = Vec::new();
+    wf.compute(&demands, caps, &mut rates);
+    rates
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Flow conservation: no flow is allocated more than its demand (cap),
+    // and every flow makes progress.
+    #[test]
+    fn waterfill_respects_flow_demands((caps, flows) in waterfill_scenario()) {
+        let rates = waterfill_rates(&caps, &flows);
+        for ((_, cap), rate) in flows.iter().zip(&rates) {
+            prop_assert!(*rate > 0.0, "flow starved: {rate}");
+            prop_assert!(
+                *rate <= cap * (1.0 + 1e-9),
+                "allocation {rate} exceeds demand {cap}"
+            );
+        }
+    }
+
+    // Capacity respect: per resource, allocations sum to at most the
+    // capacity.
+    #[test]
+    fn waterfill_respects_capacities((caps, flows) in waterfill_scenario()) {
+        let rates = waterfill_rates(&caps, &flows);
+        let mut used = vec![0.0f64; caps.len()];
+        for ((route, _), rate) in flows.iter().zip(&rates) {
+            for &r in route {
+                used[r as usize] += rate;
+            }
+        }
+        for (i, (u, c)) in used.iter().zip(&caps).enumerate() {
+            prop_assert!(
+                *u <= c * (1.0 + 1e-6),
+                "resource {i} over capacity: {u} > {c}"
+            );
+        }
+    }
+
+    // Max-min monotonicity under added flows. Pointwise monotonicity is
+    // false in general (a new flow can throttle a competitor on one link,
+    // freeing capacity elsewhere), but max-min maximizes the minimum:
+    // adding demand never raises the worst-off pre-existing allocation.
+    #[test]
+    fn waterfill_min_allocation_never_rises_under_added_flows(
+        (caps, flows) in waterfill_scenario(),
+        extra_route in proptest::collection::vec(0u32..8, 0..4),
+        extra_cap in 0.5f64..500.0,
+    ) {
+        let extra_route: Vec<u32> = extra_route
+            .into_iter()
+            .map(|r| r % caps.len() as u32)
+            .collect();
+        let before = waterfill_rates(&caps, &flows);
+        let mut grown = flows.clone();
+        grown.push((extra_route, extra_cap));
+        let after = waterfill_rates(&caps, &grown);
+        let min_before = before.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_after = after[..before.len()]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            min_after <= min_before * (1.0 + 1e-9),
+            "worst-off flow sped up when a flow was added: {min_before} -> {min_after}"
+        );
+    }
+
+    // On a single shared bottleneck monotonicity *is* pointwise: adding a
+    // flow never increases any existing flow's allocation.
+    #[test]
+    fn waterfill_is_pointwise_monotone_on_one_link(
+        link_cap in 1.0f64..1000.0,
+        flow_caps in proptest::collection::vec(0.5f64..500.0, 1..12),
+        extra_cap in 0.5f64..500.0,
+    ) {
+        let route = [ResourceId(0)];
+        let rates_for = |caps: &[f64]| {
+            let demands: Vec<FlowDemand> = caps
+                .iter()
+                .map(|&cap| FlowDemand { route: &route, cap })
+                .collect();
+            let mut wf = Waterfill::new(1);
+            let mut rates = Vec::new();
+            wf.compute(&demands, &[link_cap], &mut rates);
+            rates
+        };
+        let before = rates_for(&flow_caps);
+        let mut grown = flow_caps.clone();
+        grown.push(extra_cap);
+        let after = rates_for(&grown);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            prop_assert!(
+                *a <= b * (1.0 + 1e-9),
+                "flow {i} sped up when a flow was added: {b} -> {a}"
+            );
+        }
+    }
+
+    // Fault plans: every transfer ends in exactly one consistent state,
+    // and an identical plan replays to identical outcomes.
+    #[test]
+    fn faulted_runs_classify_every_transfer(
+        (n, caps, specs) in scenario(),
+        seed in 0u64..1_000,
+    ) {
+        let sim = Simulator::new(n, caps.clone(), quick_config());
+        let mut g = TransferGraph::new();
+        for s in specs {
+            g.add(s);
+        }
+        let plan = FaultPlan::random_link_faults(seed, caps.len() as u32, 20.0, 0.05, 1.0);
+        let rep = sim.run_with_faults(&g, &plan);
+        for i in 0..g.len() {
+            let start = rep.flow_start_time[i];
+            let end = rep.delivery_time[i];
+            match rep.status[i] {
+                TransferStatus::Delivered => {
+                    prop_assert!(start.is_finite() && end.is_finite() && end >= start);
+                }
+                TransferStatus::Stalled => {
+                    prop_assert!(start.is_finite() && end == f64::INFINITY);
+                }
+                TransferStatus::NotStarted => {
+                    prop_assert!(start == f64::INFINITY && end == f64::INFINITY);
+                }
+            }
+        }
+        prop_assert!(rep.end_time.is_finite());
+        let again = sim.run_with_faults(&g, &plan);
+        prop_assert_eq!(rep.delivery_time, again.delivery_time);
+        prop_assert_eq!(rep.status, again.status);
+    }
+}
+
 #[test]
 fn water_filling_matches_hand_computed_scenario() {
     // Three flows: two share link 0 (cap 100), one alone on link 1.

@@ -3,7 +3,7 @@
 # Build, test, and lint — the gate every change must pass.
 verify:
     cargo build --release
-    cargo test -q
+    cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
 
 # Full figure reproduction into results/ (coffee-break sized).
@@ -13,3 +13,17 @@ reproduce:
 # Machinery + ablation benches.
 bench:
     cargo bench
+
+# Coverage via cargo-llvm-cov when installed; otherwise fall back to a
+# plain verbose test run (this container has no coverage tooling baked in).
+cover:
+    @if cargo llvm-cov --version >/dev/null 2>&1; then \
+        cargo llvm-cov --workspace --summary-only; \
+    else \
+        echo "cargo-llvm-cov not installed; running plain tests instead"; \
+        cargo test --workspace -- --nocapture; \
+    fi
+
+# Regenerate the golden reference CSVs after an intentional model change.
+update-golden:
+    UPDATE_GOLDEN=1 cargo test --release --test golden
