@@ -9,7 +9,13 @@
 //! * `--threads N` — worker threads for the parallel fan-out (default:
 //!   the machine's available parallelism);
 //! * `--timing` — print per-point timings and plan-cache counters;
-//! * `--seed N` — seed for the randomized fault scenarios (`resilience`).
+//! * `--seed N` — seed for the randomized fault scenarios (`resilience`);
+//! * `--observe` — attach a metrics registry and trace recorder to the
+//!   session (implied by the two output flags below);
+//! * `--metrics-out PATH` — write the session's metrics snapshot as
+//!   deterministic CSV after the run;
+//! * `--trace-out PATH` — write a Perfetto-loadable Chrome trace of a
+//!   representative run of the figure.
 //!
 //! Arguments that don't start with `--` are collected into
 //! [`BenchArgs::positional`] for binaries that take operands
@@ -37,7 +43,7 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::UnknownFlag(flag) => write!(
                 f,
-                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N)"
+                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N, --observe, --metrics-out PATH, --trace-out PATH)"
             ),
             ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             ArgError::BadValue { flag, value } => {
@@ -64,6 +70,12 @@ pub struct BenchArgs {
     pub timing: bool,
     /// Seed for the randomized fault scenarios (`resilience`).
     pub seed: u64,
+    /// Attach the observability layer even without output paths.
+    pub observe: bool,
+    /// Write the metrics snapshot (deterministic CSV) here after the run.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome trace of a representative run here after the run.
+    pub trace_out: Option<String>,
     /// Non-flag operands, in order.
     pub positional: Vec<String>,
 }
@@ -79,6 +91,9 @@ impl Default for BenchArgs {
                 .unwrap_or(1),
             timing: false,
             seed: crate::resilience::DEFAULT_SEED,
+            observe: false,
+            metrics_out: None,
+            trace_out: None,
             positional: Vec::new(),
         }
     }
@@ -119,6 +134,13 @@ impl BenchArgs {
                 "--seed" => {
                     out.seed = parse_value("--seed", it.next())?;
                 }
+                "--observe" => out.observe = true,
+                "--metrics-out" => {
+                    out.metrics_out = Some(it.next().ok_or(ArgError::MissingValue("--metrics-out"))?);
+                }
+                "--trace-out" => {
+                    out.trace_out = Some(it.next().ok_or(ArgError::MissingValue("--trace-out"))?);
+                }
                 other if other.starts_with("--") => {
                     return Err(ArgError::UnknownFlag(other.to_string()));
                 }
@@ -142,9 +164,22 @@ impl BenchArgs {
         v
     }
 
-    /// An [`ExperimentSession`] configured from these flags.
+    /// Whether the observability layer should be attached: `--observe`,
+    /// or either output path implies it.
+    pub fn observe_enabled(&self) -> bool {
+        self.observe || self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// An [`ExperimentSession`] configured from these flags. With
+    /// observation enabled the session carries a metrics registry that
+    /// the plan cache and planners record into.
     pub fn session(&self) -> ExperimentSession {
-        ExperimentSession::new(self.threads).with_timing(self.timing)
+        let session = ExperimentSession::new(self.threads).with_timing(self.timing);
+        if self.observe_enabled() {
+            session.with_metrics(std::sync::Arc::new(bgq_obs::MetricsRegistry::new()))
+        } else {
+            session
+        }
     }
 
     /// Print a table in the configured format.
@@ -214,6 +249,31 @@ mod tests {
         let a = parse(&["--max-cores", "8192", "pareto", "2048"]).unwrap();
         assert_eq!(a.max_cores, 8192);
         assert_eq!(a.positional, vec!["pareto", "2048"]);
+    }
+
+    #[test]
+    fn observe_flags_parse_and_imply_observation() {
+        let plain = parse(&[]).unwrap();
+        assert!(!plain.observe_enabled());
+        assert!(plain.session().metrics().is_none());
+
+        let a = parse(&["--observe"]).unwrap();
+        assert!(a.observe_enabled() && a.metrics_out.is_none());
+        assert!(a.session().metrics().is_some());
+
+        let b = parse(&["--metrics-out", "m.csv", "--trace-out", "t.json"]).unwrap();
+        assert!(b.observe_enabled(), "output paths imply observation");
+        assert_eq!(b.metrics_out.as_deref(), Some("m.csv"));
+        assert_eq!(b.trace_out.as_deref(), Some("t.json"));
+
+        assert_eq!(
+            parse(&["--metrics-out"]),
+            Err(ArgError::MissingValue("--metrics-out"))
+        );
+        assert_eq!(
+            parse(&["--trace-out"]),
+            Err(ArgError::MissingValue("--trace-out"))
+        );
     }
 
     #[test]

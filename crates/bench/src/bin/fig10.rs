@@ -11,7 +11,7 @@
 //! points across workers.
 
 use bgq_bench::experiments::Fig10;
-use bgq_bench::{fig10_scales, BenchArgs};
+use bgq_bench::{emit_artifacts, fig10_scales, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,5 +19,7 @@ fn main() {
     let exp = Fig10 {
         scales: fig10_scales(args.max_cores),
     };
-    args.session().report(&exp, args.csv);
+    let session = args.session();
+    session.report(&exp, args.csv);
+    emit_artifacts(&args, &session, "fig10");
 }

@@ -7,7 +7,7 @@
 //! higher throughput.
 
 use bgq_bench::experiments::Fig11;
-use bgq_bench::{fig11_scales, BenchArgs};
+use bgq_bench::{emit_artifacts, fig11_scales, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -15,5 +15,7 @@ fn main() {
     let exp = Fig11 {
         scales: fig11_scales(args.max_cores),
     };
-    args.session().report(&exp, args.csv);
+    let session = args.session();
+    session.report(&exp, args.csv);
+    emit_artifacts(&args, &session, "fig11");
 }

@@ -6,10 +6,12 @@
 //! (256 KB, 1.4 GB/s).
 
 use bgq_bench::experiments::Fig5;
-use bgq_bench::BenchArgs;
+use bgq_bench::{emit_artifacts, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     println!("Figure 5: point-to-point PUT throughput w & w/o proxies (2x2x4x4x2, 128 nodes)");
-    args.session().report(&Fig5 { sizes: args.sizes() }, args.csv);
+    let session = args.session();
+    session.report(&Fig5 { sizes: args.sizes() }, args.csv);
+    emit_artifacts(&args, &session, "fig5");
 }

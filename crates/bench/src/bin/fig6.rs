@@ -6,12 +6,14 @@
 //! crossover sits at (512 KB, 1.58 GB/s).
 
 use bgq_bench::experiments::Fig6;
-use bgq_bench::BenchArgs;
+use bgq_bench::{emit_artifacts, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     println!(
         "Figure 6: PUT throughput w & w/o proxies between 2 groups of 256 nodes (4x4x4x16x2, 2K nodes)"
     );
-    args.session().report(&Fig6 { sizes: args.sizes() }, args.csv);
+    let session = args.session();
+    session.report(&Fig6 { sizes: args.sizes() }, args.csv);
+    emit_artifacts(&args, &session, "fig6");
 }

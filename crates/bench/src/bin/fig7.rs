@@ -13,12 +13,14 @@
 //! ideal 2x — the qualitative ordering (2 < 3 ≤ 4, 5 drops) is preserved.
 
 use bgq_bench::experiments::Fig7;
-use bgq_bench::BenchArgs;
+use bgq_bench::{emit_artifacts, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     println!(
         "Figure 7: PUT throughput vs number of proxy groups (2 groups of 32 nodes, 4x4x4x4x2)"
     );
-    args.session().report(&Fig7 { sizes: args.sizes() }, args.csv);
+    let session = args.session();
+    session.report(&Fig7 { sizes: args.sizes() }, args.csv);
+    emit_artifacts(&args, &session, "fig7");
 }

@@ -1,0 +1,142 @@
+//! Inspect and validate observability artifacts.
+//!
+//! ```text
+//! cargo run --release -p bgq-bench --bin obs_report -- [--check] FILE...
+//! ```
+//!
+//! Files ending in `.csv` are treated as metrics snapshots
+//! (`name,value` / histogram rows): the report prints the planner
+//! decision and cache counters, checks the rows are name-sorted and
+//! duplicate-free, and shouts if `comm.transfers_undelivered` is
+//! non-zero — a stalled run must never look like a quiet success.
+//! Files ending in `.json` are treated as Chrome traces and validated
+//! as RFC 8259 JSON with the expected trace-event envelope.
+//!
+//! With `--check`, any problem (unparsable JSON, unsorted/duplicate
+//! CSV, undelivered transfers) exits non-zero — the mode `just obs`
+//! and CI use.
+
+use std::process::ExitCode;
+
+/// One validated artifact: its path and the problems found in it.
+struct Checked {
+    path: String,
+    problems: Vec<String>,
+}
+
+fn check_metrics_csv(path: &str, contents: &str) -> Checked {
+    let mut problems = Vec::new();
+    // (kind, name) per row, in file order — must be strictly increasing.
+    let mut keys: Vec<(&str, &str)> = Vec::new();
+    let mut undelivered: u64 = 0;
+    let mut planner = Vec::new();
+    let mut cache = Vec::new();
+    let mut comm = Vec::new();
+    for (lineno, line) in contents.lines().enumerate() {
+        if line.is_empty() || (lineno == 0 && line == "kind,name,value") {
+            continue;
+        }
+        let mut fields = line.splitn(3, ',');
+        let (Some(kind), Some(name), Some(value)) =
+            (fields.next(), fields.next(), fields.next())
+        else {
+            problems.push(format!("line {}: not kind,name,value: {line:?}", lineno + 1));
+            continue;
+        };
+        keys.push((kind, name));
+        if name == "comm.transfers_undelivered" {
+            undelivered = value.parse().unwrap_or(u64::MAX);
+        }
+        if name.starts_with("planner.") {
+            planner.push((name, value));
+        } else if name.starts_with("cache.") {
+            cache.push((name, value));
+        } else if name.starts_with("comm.") {
+            comm.push((name, value));
+        }
+    }
+    for w in keys.windows(2) {
+        if w[0] >= w[1] {
+            problems.push(format!(
+                "rows not sorted/deduplicated: {:?} then {:?}",
+                w[0], w[1]
+            ));
+            break;
+        }
+    }
+
+    println!("{path}: {} metric row(s)", keys.len());
+    for (title, rows) in [("planner", &planner), ("cache", &cache), ("comm", &comm)] {
+        if !rows.is_empty() {
+            println!("  {title}:");
+            for (name, value) in rows {
+                println!("    {name} = {value}");
+            }
+        }
+    }
+    if undelivered > 0 {
+        println!("  *** WARNING: {undelivered} transfer(s) UNDELIVERED — a run stalled ***");
+        problems.push(format!("{undelivered} undelivered transfer(s)"));
+    }
+    Checked {
+        path: path.to_string(),
+        problems,
+    }
+}
+
+fn check_trace_json(path: &str, contents: &str) -> Checked {
+    let mut problems = Vec::new();
+    if let Err(e) = bgq_obs::json::validate(contents) {
+        problems.push(format!("invalid JSON: {e}"));
+    }
+    if !contents.contains("\"traceEvents\"") {
+        problems.push("missing \"traceEvents\" envelope".to_string());
+    }
+    let events = contents.matches("\"ph\":").count();
+    println!("{path}: {events} trace event(s)");
+    Checked {
+        path: path.to_string(),
+        problems,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => strict = true,
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: obs_report [--check] FILE...  (.csv = metrics, .json = trace)");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let checked = if path.ends_with(".json") {
+            check_trace_json(path, &contents)
+        } else {
+            check_metrics_csv(path, &contents)
+        };
+        for p in &checked.problems {
+            eprintln!("{}: PROBLEM: {p}", checked.path);
+        }
+        failed |= !checked.problems.is_empty();
+    }
+    if strict && failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -12,7 +12,8 @@
 use bgq_bench::experiments::{Fig10, Fig11, Fig5, Fig6, Fig7};
 use bgq_bench::resilience::{default_sizes, Resilience};
 use bgq_bench::runner::{Experiment, ExperimentSession};
-use bgq_bench::{fig10_scales, fig11_scales, BenchArgs};
+use bgq_bench::{fig10_scales, fig11_scales, trace_for, write_artifact, BenchArgs};
+use bgq_obs::MetricsSnapshot;
 use std::fs;
 use std::io::Write as _;
 
@@ -43,14 +44,46 @@ fn run_to_file<E: Experiment>(session: &ExperimentSession, exp: &E, file: &str, 
     write_out(file, &out);
 }
 
+/// With `--observe`: write `results/obs/<name>.metrics.csv` (the
+/// registry delta this figure contributed since the previous snapshot)
+/// and `results/obs/<name>.trace.json` (the figure's representative
+/// trace), then advance the snapshot cursor. No-op otherwise.
+fn observe_figure(session: &ExperimentSession, prev: &mut Option<MetricsSnapshot>, name: &str) {
+    let Some(registry) = session.metrics() else {
+        return;
+    };
+    let snap = registry.snapshot();
+    let delta = match prev.as_ref() {
+        Some(p) => snap.delta_from(p),
+        None => snap.clone(),
+    };
+    let metrics_path = format!("results/obs/{name}.metrics.csv");
+    write_artifact(&metrics_path, &delta.to_csv())
+        .unwrap_or_else(|e| panic!("write {metrics_path}: {e}"));
+    println!("wrote {metrics_path}");
+    if let Some(rec) = trace_for(name, session.cache()) {
+        let trace_path = format!("results/obs/{name}.trace.json");
+        write_artifact(&trace_path, &rec.to_chrome_json())
+            .unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+        println!("wrote {trace_path}");
+    }
+    // Re-snapshot: trace building itself exercises the planner/cache,
+    // and the next figure's delta must not inherit that.
+    *prev = Some(registry.snapshot());
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let sizes = args.sizes();
     let session = args.session();
+    let mut cursor: Option<MetricsSnapshot> = None;
 
     run_to_file(&session, &Fig5 { sizes: sizes.clone() }, "fig5.txt", false);
+    observe_figure(&session, &mut cursor, "fig5");
     run_to_file(&session, &Fig6 { sizes: sizes.clone() }, "fig6.txt", false);
+    observe_figure(&session, &mut cursor, "fig6");
     run_to_file(&session, &Fig7 { sizes }, "fig7.txt", false);
+    observe_figure(&session, &mut cursor, "fig7");
 
     run_to_file(
         &session,
@@ -58,16 +91,19 @@ fn main() {
         "resilience.csv",
         true,
     );
+    observe_figure(&session, &mut cursor, "resilience");
 
     eprintln!("weak scaling up to {} cores...", args.max_cores);
     let fig10 = Fig10 {
         scales: fig10_scales(args.max_cores),
     };
     run_to_file(&session, &fig10, "fig10.csv", true);
+    observe_figure(&session, &mut cursor, "fig10");
     let fig11 = Fig11 {
         scales: fig11_scales(args.max_cores),
     };
     run_to_file(&session, &fig11, "fig11.csv", true);
+    observe_figure(&session, &mut cursor, "fig11");
 
     println!(
         "\nremaining harnesses (each prints to stdout):\n  \

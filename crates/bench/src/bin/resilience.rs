@@ -9,15 +9,14 @@
 //! `--threads` count.
 
 use bgq_bench::resilience::{default_sizes, Resilience};
-use bgq_bench::BenchArgs;
+use bgq_bench::{emit_artifacts, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
     println!(
         "Resilience: completion and delivery under link faults (2x2x4x4x2, node 0 -> node 127)"
     );
-    args.session().report(
-        &Resilience::new(default_sizes(), args.seed),
-        args.csv,
-    );
+    let session = args.session();
+    session.report(&Resilience::new(default_sizes(), args.seed), args.csv);
+    emit_artifacts(&args, &session, "resilience");
 }

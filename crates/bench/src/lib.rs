@@ -24,6 +24,7 @@ pub mod args;
 pub mod experiments;
 pub mod io;
 pub mod micro;
+pub mod obs;
 pub mod resilience;
 pub mod runner;
 pub mod table;
@@ -37,6 +38,10 @@ pub use io::{
 pub use micro::{
     corner_groups, crossover, fig5_point, fig5_sweep, fig6_point, fig6_sweep, fig7_point,
     fig7_series_labels, fig7_sweep, SweepPoint,
+};
+pub use obs::{
+    emit_artifacts, fig5_trace, fig6_trace, io_trace, pair_trace, resilience_trace, trace_for,
+    write_artifact, TRACE_BYTES,
 };
 pub use resilience::{
     default_scenarios, fault_plan_for, resilience_point, Resilience, ResiliencePoint, Scenario,

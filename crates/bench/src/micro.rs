@@ -44,6 +44,16 @@ pub fn fig5_point(cache: &PlanCache, bytes: u64) -> SweepPoint {
         .proxies();
     assert!(proxies.len() >= 3, "fig5 partition must support proxies");
 
+    if cache.metrics().is_some() {
+        // Observe mode: also run the real decision procedure so this
+        // point's direct-vs-multipath verdict lands in the planner
+        // counters. The scratch program is discarded — the measured
+        // numbers below stay the explicit direct/multipath pair.
+        let mover = cache.mover(&machine).with_search(cfg.clone());
+        let mut scratch = Program::new(&machine);
+        let _ = mover.plan_transfer(&mut scratch, src, dst, bytes);
+    }
+
     let mut pd = Program::new(&machine);
     let hd = plan_direct(&mut pd, src, dst, bytes);
     let direct = hd.throughput(&pd.run());

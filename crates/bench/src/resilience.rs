@@ -17,7 +17,8 @@
 //!   expressed in expected faults per direct-transfer-time, so every
 //!   message size faces comparable adversity).
 //!
-//! Both strategies run through [`run_resilient`]: a bounded retry loop
+//! Both strategies run through [`bgq_comm::run_resilient`]: a bounded
+//! retry loop
 //! that replays the same absolute-time fault plan each attempt and gates
 //! re-planned transfers behind an exponential backoff in simulated time.
 //! Everything is a pure function of `(bytes, scenario)`, so the sweep is
@@ -25,7 +26,7 @@
 
 use crate::runner::{Experiment, PlanCache, Row};
 use crate::table::fmt_bytes;
-use bgq_comm::{run_resilient, Machine, Program, ResilientOutcome, RetryPolicy};
+use bgq_comm::{run_resilient_observed, Machine, Program, ResilientOutcome, RetryPolicy};
 use bgq_netsim::{FaultPlan, ResourceId, SimConfig};
 use bgq_torus::{num_links, route, standard_shape, NodeId};
 use sdm_core::{plan_direct, plan_direct_gated, MultipathOptions, SparseMover};
@@ -148,9 +149,13 @@ pub fn resilience_point(cache: &PlanCache, bytes: u64, scenario: &Scenario) -> R
     let t0 = direct_t0(&machine, bytes);
     let plan = fault_plan_for(&machine, scenario, t0);
     let policy = RetryPolicy::default();
-    let mover = SparseMover::with_aggregator_table(&machine, cache.aggregator_table(&machine));
+    let mut mover = SparseMover::with_aggregator_table(&machine, cache.aggregator_table(&machine));
+    if let Some(m) = cache.metrics() {
+        mover = mover.with_metrics(std::sync::Arc::clone(m));
+    }
+    let metrics = cache.metrics().map(|m| m.as_ref());
 
-    let direct = run_resilient(&machine, &plan, &policy, SRC, bytes, |prog, ctx| {
+    let direct = run_resilient_observed(&machine, &plan, &policy, SRC, bytes, metrics, |prog, ctx| {
         plan_direct_gated(
             prog,
             SRC,
@@ -164,7 +169,7 @@ pub fn resilience_point(cache: &PlanCache, bytes: u64, scenario: &Scenario) -> R
     });
 
     let plan_resilient = |plan: &FaultPlan| {
-        run_resilient(&machine, plan, &policy, SRC, bytes, |prog, ctx| {
+        run_resilient_observed(&machine, plan, &policy, SRC, bytes, metrics, |prog, ctx| {
             let aware = mover.clone().with_multipath(MultipathOptions {
                 gate: ctx.gate,
                 ..Default::default()

@@ -21,6 +21,7 @@
 //! fan-out safe: the only shared state is the cache, and a cache hit
 //! returns an `Arc` to the exact value a fresh computation would produce.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -28,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use bgq_comm::Machine;
 use bgq_netsim::SimConfig;
+use bgq_obs::MetricsRegistry;
 use bgq_torus::{NodeId, Shape, Zone};
 use sdm_core::{
     find_proxies, find_proxy_groups, AggregatorTable, ProxyGroup, ProxySearchConfig,
@@ -120,6 +122,7 @@ pub struct PlanCache {
     groups: Mutex<HashMap<GroupKey, Arc<Vec<ProxyGroup>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl PlanCache {
@@ -127,27 +130,70 @@ impl PlanCache {
         PlanCache::default()
     }
 
+    /// Attach a metrics registry: every lookup then also lands in
+    /// per-table counters (`cache.machine.hits`, `cache.proxies.misses`,
+    /// …), and [`PlanCache::mover`] hands out planners that record their
+    /// decisions into the same registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> PlanCache {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached registry, if observation is on.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// Look up `key`, computing with `make` on a miss. The computation
     /// runs outside the lock (points are heavyweight); if two threads
     /// race on the same key, both compute the identical value and the
-    /// first insert wins.
-    fn get_or_insert<K, V, F>(&self, map: &Mutex<HashMap<K, V>>, key: K, make: F) -> V
+    /// first insert wins. `kind` names the table in the per-kind metrics.
+    ///
+    /// Counter determinism: a *miss* is only recorded by the thread whose
+    /// insert actually lands; a race loser records the hit its lookup
+    /// would have been under any serialized schedule. Misses therefore
+    /// equal the number of unique keys and hits equal lookups minus
+    /// unique keys — both independent of the thread count, so the
+    /// counters are safe to golden-pin.
+    fn get_or_insert<K, V, F>(
+        &self,
+        map: &Mutex<HashMap<K, V>>,
+        kind: &'static str,
+        key: K,
+        make: F,
+    ) -> V
     where
         K: std::hash::Hash + Eq,
         V: Clone,
         F: FnOnce() -> V,
     {
         if let Some(v) = map.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record(kind, true);
             return v.clone();
         }
         let v = make();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        map.lock()
-            .unwrap()
-            .entry(key)
-            .or_insert(v)
-            .clone()
+        match map.lock().unwrap().entry(key) {
+            Entry::Occupied(e) => {
+                self.record(kind, true);
+                e.get().clone()
+            }
+            Entry::Vacant(slot) => {
+                self.record(kind, false);
+                slot.insert(v).clone()
+            }
+        }
+    }
+
+    fn record(&self, kind: &'static str, hit: bool) {
+        let (global, name) = if hit {
+            (&self.hits, "hits")
+        } else {
+            (&self.misses, "misses")
+        };
+        global.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.counter(&format!("cache.{kind}.{name}")).inc();
+        }
     }
 
     /// A machine for `shape` under `config`, built at most once.
@@ -156,7 +202,7 @@ impl PlanCache {
             shape,
             config: config_bits(config),
         };
-        self.get_or_insert(&self.machines, key, || {
+        self.get_or_insert(&self.machines, "machine", key, || {
             Arc::new(Machine::new(shape, config.clone()))
         })
     }
@@ -167,7 +213,7 @@ impl PlanCache {
     /// only in `SimConfig`. `None` when the partition has no I/O layout.
     pub fn aggregator_table(&self, machine: &Machine) -> Option<Arc<AggregatorTable>> {
         let shape = *machine.shape();
-        self.get_or_insert(&self.tables, shape, || {
+        self.get_or_insert(&self.tables, "table", shape, || {
             machine
                 .io()
                 .map(|io| Arc::new(AggregatorTable::precompute(io)))
@@ -175,9 +221,14 @@ impl PlanCache {
     }
 
     /// A [`SparseMover`] for `machine` that reuses the cached aggregator
-    /// table instead of precomputing its own.
+    /// table instead of precomputing its own. When the cache carries a
+    /// metrics registry, the mover records its decisions into it.
     pub fn mover<'m>(&self, machine: &'m Machine) -> SparseMover<'m> {
-        SparseMover::with_aggregator_table(machine, self.aggregator_table(machine))
+        let mover = SparseMover::with_aggregator_table(machine, self.aggregator_table(machine));
+        match &self.metrics {
+            Some(m) => mover.with_metrics(Arc::clone(m)),
+            None => mover,
+        }
     }
 
     /// Memoized [`find_proxies`] (Algorithm 1) for a node pair.
@@ -200,7 +251,7 @@ impl PlanCache {
             forbidden: fb,
             cfg: search_key(cfg),
         };
-        self.get_or_insert(&self.proxies, key, || {
+        self.get_or_insert(&self.proxies, "proxies", key, || {
             Arc::new(find_proxies(shape, zone, src, dst, forbidden, cfg))
         })
     }
@@ -221,7 +272,7 @@ impl PlanCache {
             dests: dests.to_vec(),
             cfg: search_key(cfg),
         };
-        self.get_or_insert(&self.groups, key, || {
+        self.get_or_insert(&self.groups, "groups", key, || {
             Arc::new(find_proxy_groups(shape, zone, sources, dests, cfg))
         })
     }
@@ -365,6 +416,21 @@ impl ExperimentSession {
     pub fn with_timing(mut self, timing: bool) -> ExperimentSession {
         self.timing = timing;
         self
+    }
+
+    /// Attach a metrics registry to the session's plan cache: cache
+    /// lookups and planner decisions across every experiment run by this
+    /// session then accumulate in one place. All recorded values are
+    /// thread-order independent (counters sum `u64`s), so snapshots are
+    /// identical for any `--threads` setting.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> ExperimentSession {
+        self.cache = std::mem::take(&mut self.cache).with_metrics(metrics);
+        self
+    }
+
+    /// The session's registry, if observation is on.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.cache.metrics()
     }
 
     pub fn threads(&self) -> usize {
@@ -536,6 +602,38 @@ mod tests {
         let t1 = cache.aggregator_table(&m1).unwrap();
         let t3 = cache.aggregator_table(&m3).unwrap();
         assert!(Arc::ptr_eq(&t1, &t3));
+    }
+
+    #[test]
+    fn per_kind_cache_counters_mirror_the_totals() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let cache = PlanCache::new().with_metrics(Arc::clone(&reg));
+        let shape = standard_shape(128).unwrap();
+        let cfg = SimConfig::default();
+        let m = cache.machine(shape, &cfg);
+        cache.machine(shape, &cfg);
+        cache.aggregator_table(&m);
+        cache.proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &ProxySearchConfig::default(),
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.machine.misses"), Some(1));
+        assert_eq!(snap.counter("cache.machine.hits"), Some(1));
+        assert_eq!(snap.counter("cache.table.misses"), Some(1));
+        assert_eq!(snap.counter("cache.proxies.misses"), Some(1));
+        let stats = cache.stats();
+        let per_kind: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("cache."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(per_kind, stats.hits + stats.misses);
     }
 
     #[test]

@@ -162,3 +162,52 @@ proptest! {
         prop_assert!(cache.stats().hits >= 1);
     }
 }
+
+#[test]
+fn second_identical_run_is_all_cache_hits() {
+    // Satellite of the observability layer: replaying an experiment on a
+    // warm session must touch the cache only through hits — any miss on
+    // the second run means a cache key is unstable.
+    let registry = std::sync::Arc::new(bgq_obs::MetricsRegistry::new());
+    let session = ExperimentSession::new(2).with_metrics(std::sync::Arc::clone(&registry));
+    let exp = Fig5 {
+        sizes: vec![1 << 20, 16 << 20],
+    };
+    session.run(&exp);
+    let warm = registry.snapshot();
+    session.run(&exp);
+    let delta = registry.snapshot().delta_from(&warm);
+    let mut hits = 0;
+    for kind in ["machine", "table", "proxies", "groups"] {
+        hits += delta.counter(&format!("cache.{kind}.hits")).unwrap_or(0);
+        assert_eq!(
+            delta.counter(&format!("cache.{kind}.misses")).unwrap_or(0),
+            0,
+            "second identical run must be 100% cache hits ({kind})"
+        );
+    }
+    assert!(hits > 0, "the second run must actually consult the cache");
+}
+
+#[test]
+fn observed_artifacts_identical_across_thread_counts() {
+    // The observability artifacts carry only simulated-time and integer
+    // quantities, so the metrics CSV and the Chrome trace must be
+    // byte-identical no matter how many workers produced them.
+    let run = |threads: usize| {
+        let registry = std::sync::Arc::new(bgq_obs::MetricsRegistry::new());
+        let session =
+            ExperimentSession::new(threads).with_metrics(std::sync::Arc::clone(&registry));
+        session.run(&Fig5 {
+            sizes: vec![64 << 10, 16 << 20],
+        });
+        let trace = bgq_bench::trace_for("fig5", session.cache())
+            .expect("fig5 has a representative trace")
+            .to_chrome_json();
+        (registry.snapshot().to_csv(), trace)
+    };
+    let (m1, t1) = run(1);
+    let (m4, t4) = run(4);
+    assert_eq!(m1, m4, "metrics CSV must not depend on the thread count");
+    assert_eq!(t1, t4, "trace JSON must not depend on the thread count");
+}

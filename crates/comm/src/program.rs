@@ -7,7 +7,10 @@
 
 use crate::health::HealthMask;
 use crate::machine::Machine;
-use bgq_netsim::{FaultPlan, SimReport, TransferGraph, TransferId, TransferSpec, TransferStatus};
+use bgq_netsim::{
+    FaultPlan, SimObserver, SimReport, TransferGraph, TransferId, TransferSpec, TransferStatus,
+};
+use bgq_obs::MetricsRegistry;
 use bgq_torus::NodeId;
 
 /// Handle to one logical (possibly multi-transfer) operation: the delivery
@@ -236,6 +239,16 @@ impl<'m> Program<'m> {
     pub fn run_with_faults(&self, faults: &FaultPlan) -> SimReport {
         self.machine.simulator().run_with_faults(&self.graph, faults)
     }
+
+    /// Execute under a fault schedule with engine observation: waterfill
+    /// epochs, the per-link heatmap and stall/resume events accumulate
+    /// into `obs`. The report is bit-identical to
+    /// [`Program::run_with_faults`] on the same inputs.
+    pub fn run_observed(&self, faults: &FaultPlan, obs: &mut SimObserver) -> SimReport {
+        self.machine
+            .simulator()
+            .run_observed(&self.graph, faults, obs)
+    }
 }
 
 /// Bounded retry policy for fault-aware re-planning. All times are
@@ -319,12 +332,35 @@ pub fn run_resilient<F>(
     policy: &RetryPolicy,
     src: NodeId,
     total_bytes: u64,
+    plan: F,
+) -> ResilientOutcome
+where
+    F: FnMut(&mut Program<'_>, &ReplanContext) -> TransferHandle,
+{
+    run_resilient_observed(machine, faults, policy, src, total_bytes, None, plan)
+}
+
+/// [`run_resilient`] with retry-loop observability: when `metrics` is
+/// present, each attempt, retry, backoff and health snapshot lands in
+/// the registry (`comm.resilient.*`), and any transfer left undelivered
+/// by the final attempt increments `comm.transfers_undelivered` — so a
+/// run that silently reports zero throughput is loud in the metrics.
+/// All recorded values derive from simulated time and integer counts;
+/// the outcome itself is unaffected by observation.
+pub fn run_resilient_observed<F>(
+    machine: &Machine,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    src: NodeId,
+    total_bytes: u64,
+    metrics: Option<&MetricsRegistry>,
     mut plan: F,
 ) -> ResilientOutcome
 where
     F: FnMut(&mut Program<'_>, &ReplanContext) -> TransferHandle,
 {
     assert!(policy.max_attempts > 0, "need at least one attempt");
+    let undelivered_in = |report: &SimReport| (report.status.len() - report.num_delivered()) as u64;
     let mut remaining = total_bytes;
     let mut not_before = 0.0f64;
     let mut attempt = 0u32;
@@ -340,6 +376,13 @@ where
             health: HealthMask::at(machine, faults, not_before),
             gate,
         };
+        if let Some(m) = metrics {
+            m.counter("comm.resilient.attempts").inc();
+            m.counter("comm.resilient.dead_links_seen")
+                .add(ctx.health.dead_links.len() as u64);
+            m.counter("comm.resilient.down_nodes_seen")
+                .add(ctx.health.down_nodes.len() as u64);
+        }
         let handle = plan(&mut prog, &ctx);
         assert!(
             remaining == 0 || handle.bytes > 0,
@@ -356,6 +399,10 @@ where
         remaining = remaining.saturating_sub(arrived);
         attempt += 1;
         if remaining == 0 {
+            if let Some(m) = metrics {
+                m.counter("comm.transfers_undelivered")
+                    .add(undelivered_in(&report));
+            }
             return ResilientOutcome {
                 delivered: true,
                 attempts: attempt,
@@ -365,6 +412,11 @@ where
             };
         }
         if attempt >= policy.max_attempts {
+            if let Some(m) = metrics {
+                m.counter("comm.resilient.failures").inc();
+                m.counter("comm.transfers_undelivered")
+                    .add(undelivered_in(&report));
+            }
             return ResilientOutcome {
                 delivered: false,
                 attempts: attempt,
@@ -372,6 +424,9 @@ where
                 bytes_delivered: total_bytes - remaining,
                 report,
             };
+        }
+        if let Some(m) = metrics {
+            m.counter("comm.resilient.retries").inc();
         }
         // Exponential backoff from when this attempt stopped making
         // progress, charged to the simulation clock.
@@ -582,6 +637,48 @@ mod tests {
         assert_eq!(out.attempts, 2);
         assert!(out.completion_time.is_finite() && out.completion_time > t0);
         assert_eq!(out.bytes_delivered, RETRY_BYTES);
+    }
+
+    #[test]
+    fn observed_retry_loop_fills_the_registry() {
+        let m = machine();
+        let (src, dst) = (NodeId(0), NodeId(127));
+        let t0 = direct_time(&m, src, dst);
+        let first_link = m.route_resources(src, dst)[0];
+        let plan = FaultPlan::new().fail_link(0.5 * t0, first_link);
+        let policy = RetryPolicy { max_attempts: 2, ..Default::default() };
+        let reg = MetricsRegistry::new();
+        let out = run_resilient_observed(&m, &plan, &policy, src, RETRY_BYTES, Some(&reg), |p, ctx| {
+            let deps = ctx.gate.into_iter().collect();
+            let t = p.put_after(src, dst, ctx.bytes, deps, 0.0);
+            TransferHandle { tokens: vec![t], bytes: ctx.bytes }
+        });
+        assert!(!out.delivered, "fixed route cannot dodge a permanent fault");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("comm.resilient.attempts"), Some(2));
+        assert_eq!(snap.counter("comm.resilient.retries"), Some(1));
+        assert_eq!(snap.counter("comm.resilient.failures"), Some(1));
+        // The second attempt saw the dead link in its health snapshot.
+        assert_eq!(snap.counter("comm.resilient.dead_links_seen"), Some(1));
+        // The final attempt's put (plus its gate edge) never delivered.
+        assert!(snap.counter("comm.transfers_undelivered").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn observed_program_run_matches_plain_run() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        let t = p.put(NodeId(0), NodeId(127), 1 << 20);
+        let plain = p.run();
+        let mut obs = bgq_netsim::SimObserver::new();
+        let watched = p.run_observed(&FaultPlan::new(), &mut obs);
+        assert_eq!(
+            plain.delivered_at(t).to_bits(),
+            watched.delivered_at(t).to_bits()
+        );
+        assert!(obs.waterfill_runs > 0);
+        assert!(!obs.heatmap.is_empty());
+        assert_eq!(obs.transfers_undelivered, 0);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use setup::{
 };
 pub use planner::{Decision, DirectReason, SparseMover};
 pub use proxy::{
-    displace_group, find_proxies, find_proxies_avoiding, find_proxy_groups,
-    find_proxy_groups_global, proxy_groups_along, ProxyGroup, ProxyPath, ProxySearchConfig,
-    ProxySelection,
+    displace_group, find_proxies, find_proxies_avoiding, find_proxies_avoiding_with_stats,
+    find_proxy_groups, find_proxy_groups_global, proxy_groups_along, ProxyGroup, ProxyPath,
+    ProxySearchConfig, ProxySelection, RejectReason, SearchStats,
 };

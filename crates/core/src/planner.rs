@@ -13,8 +13,11 @@ use crate::multipath::{
     plan_direct, plan_direct_gated, plan_group_direct, plan_group_via, plan_via_proxies,
     MultipathOptions, TransferHandle,
 };
-use crate::proxy::{find_proxies, find_proxies_avoiding, find_proxy_groups, ProxySearchConfig};
+use crate::proxy::{
+    find_proxies_avoiding_with_stats, find_proxy_groups, ProxySearchConfig, SearchStats,
+};
 use bgq_comm::{HealthMask, Machine, Program};
+use bgq_obs::MetricsRegistry;
 use bgq_torus::NodeId;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -45,6 +48,7 @@ pub struct SparseMover<'m> {
     search: ProxySearchConfig,
     multipath: MultipathOptions,
     aggregators: Option<Arc<AggregatorTable>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'m> SparseMover<'m> {
@@ -87,6 +91,7 @@ impl<'m> SparseMover<'m> {
             search: ProxySearchConfig::default(),
             multipath: MultipathOptions::default(),
             aggregators,
+            metrics: None,
         }
     }
 
@@ -94,6 +99,37 @@ impl<'m> SparseMover<'m> {
     pub fn with_search(mut self, search: ProxySearchConfig) -> Self {
         self.search = search;
         self
+    }
+
+    /// Attach a metrics registry: every planning call then records its
+    /// decision (`planner.multipath_chosen`, `planner.direct_*`) and the
+    /// proxy search's candidate accounting (`planner.proxy.*`). Planning
+    /// results are unaffected — counters are a write-only side channel.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.counter(name).inc();
+        }
+    }
+
+    fn record_search(&self, stats: &SearchStats) {
+        if let Some(m) = &self.metrics {
+            m.counter("planner.proxy.candidates_tried")
+                .add(stats.candidates_tried);
+            m.counter("planner.proxy.accepted").add(stats.accepted);
+            m.counter("planner.proxy.rejected_overlap")
+                .add(stats.rejected_overlap);
+            m.counter("planner.proxy.dead_link_skips")
+                .add(stats.dead_link_skips);
+            m.counter("planner.proxy.down_node_skips")
+                .add(stats.down_node_skips);
+            m.counter("planner.proxy.forbidden_skips")
+                .add(stats.forbidden_skips);
+        }
     }
 
     /// Override multipath construction options (e.g. pipelined forwarding).
@@ -131,15 +167,18 @@ impl<'m> SparseMover<'m> {
         dst: NodeId,
         bytes: u64,
     ) -> (TransferHandle, Decision) {
-        let sel = find_proxies(
+        let (sel, stats) = find_proxies_avoiding_with_stats(
             self.machine.shape(),
             self.machine.zone(),
             src,
             dst,
             &HashSet::new(),
             &self.search,
+            &HealthMask::healthy(),
         );
+        self.record_search(&stats);
         if sel.is_empty() {
+            self.count("planner.direct_no_disjoint");
             return (
                 plan_direct(prog, src, dst, bytes),
                 Decision::Direct(DirectReason::NoDisjointPaths),
@@ -147,11 +186,13 @@ impl<'m> SparseMover<'m> {
         }
         let k = sel.len() as u32;
         if !self.model.should_use_proxies(bytes, k) {
+            self.count("planner.direct_below_threshold");
             return (
                 plan_direct(prog, src, dst, bytes),
                 Decision::Direct(DirectReason::BelowThreshold),
             );
         }
+        self.count("planner.multipath_chosen");
         let handle =
             plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
         (handle, Decision::Multipath { paths: k })
@@ -179,9 +220,11 @@ impl<'m> SparseMover<'m> {
         health: &HealthMask,
     ) -> Result<(TransferHandle, Decision), SdmError> {
         if health.down_nodes.contains(&src) {
+            self.count("planner.endpoint_down");
             return Err(SdmError::EndpointDown(src));
         }
         if health.down_nodes.contains(&dst) {
+            self.count("planner.endpoint_down");
             return Err(SdmError::EndpointDown(dst));
         }
         let shape = self.machine.shape();
@@ -190,6 +233,9 @@ impl<'m> SparseMover<'m> {
             .links
             .iter()
             .any(|l| health.dead_links.contains(l));
+        if direct_dead {
+            self.count("planner.direct_route_dead");
+        }
         let search = if direct_dead {
             ProxySearchConfig {
                 min_proxies: 1,
@@ -198,8 +244,18 @@ impl<'m> SparseMover<'m> {
         } else {
             self.search.clone()
         };
-        let sel = find_proxies_avoiding(shape, zone, src, dst, &HashSet::new(), &search, health);
+        let (sel, stats) = find_proxies_avoiding_with_stats(
+            shape,
+            zone,
+            src,
+            dst,
+            &HashSet::new(),
+            &search,
+            health,
+        );
+        self.record_search(&stats);
         if sel.is_empty() {
+            self.count("planner.direct_no_disjoint");
             return Ok((
                 plan_direct_gated(prog, src, dst, bytes, &self.multipath),
                 Decision::Direct(DirectReason::NoDisjointPaths),
@@ -207,11 +263,16 @@ impl<'m> SparseMover<'m> {
         }
         let k = sel.len() as u32;
         if !direct_dead && !self.model.should_use_proxies(bytes, k) {
+            self.count("planner.direct_below_threshold");
             return Ok((
                 plan_direct_gated(prog, src, dst, bytes, &self.multipath),
                 Decision::Direct(DirectReason::BelowThreshold),
             ));
         }
+        if direct_dead {
+            self.count("planner.multipath_forced");
+        }
+        self.count("planner.multipath_chosen");
         let handle = plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
         Ok((handle, Decision::Multipath { paths: k }))
     }
@@ -233,6 +294,7 @@ impl<'m> SparseMover<'m> {
             &self.search,
         );
         if groups.is_empty() {
+            self.count("planner.group.direct_no_disjoint");
             return (
                 plan_group_direct(prog, sources, dests, bytes),
                 Decision::Direct(DirectReason::NoDisjointPaths),
@@ -240,11 +302,13 @@ impl<'m> SparseMover<'m> {
         }
         let k = groups.len() as u32;
         if !self.model.should_use_proxies(bytes, k) {
+            self.count("planner.group.direct_below_threshold");
             return (
                 plan_group_direct(prog, sources, dests, bytes),
                 Decision::Direct(DirectReason::BelowThreshold),
             );
         }
+        self.count("planner.group.multipath_chosen");
         let handle =
             plan_group_via(prog, sources, dests, bytes, &groups, false, &self.multipath);
         (handle, Decision::Multipath { paths: k })
@@ -436,6 +500,42 @@ mod tests {
             .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 1 << 20, &health)
             .unwrap_err();
         assert_eq!(err, SdmError::EndpointDown(NodeId(127)));
+    }
+
+    #[test]
+    fn metrics_record_decisions_without_changing_them() {
+        let m = machine();
+        let reg = Arc::new(MetricsRegistry::new());
+        let plain = SparseMover::new(&m);
+        let observed = SparseMover::new(&m).with_metrics(Arc::clone(&reg));
+
+        for bytes in [4096u64, 32 << 20] {
+            let mut p1 = Program::new(&m);
+            let (_, d1) = plain.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
+            let mut p2 = Program::new(&m);
+            let (_, d2) = observed.plan_transfer(&mut p2, NodeId(0), NodeId(127), bytes);
+            assert_eq!(d1, d2, "metrics must not alter the decision at {bytes}");
+        }
+        // Forced-multipath path under a dead direct route.
+        let first_link = bgq_torus::route(m.shape(), NodeId(0), NodeId(127), m.zone()).links[0];
+        let mut health = HealthMask::healthy();
+        health.dead_links.insert(first_link);
+        let mut p = Program::new(&m);
+        observed
+            .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 4096, &health)
+            .unwrap();
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("planner.direct_below_threshold"), Some(1));
+        assert_eq!(snap.counter("planner.multipath_chosen"), Some(2));
+        assert_eq!(snap.counter("planner.multipath_forced"), Some(1));
+        assert_eq!(snap.counter("planner.direct_route_dead"), Some(1));
+        assert!(snap.counter("planner.proxy.candidates_tried").unwrap() > 0);
+        assert!(snap.counter("planner.proxy.accepted").unwrap() >= 4);
+        assert!(
+            snap.counter("planner.proxy.dead_link_skips").unwrap_or(0) >= 1,
+            "the dead direct link must surface in search stats"
+        );
     }
 
     #[test]

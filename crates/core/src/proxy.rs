@@ -85,6 +85,37 @@ fn path_links(p: &ProxyPath) -> impl Iterator<Item = bgq_torus::LinkId> + '_ {
         .copied()
 }
 
+/// Why one candidate proxy was rejected by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The candidate is the source or destination itself.
+    Endpoint,
+    /// The candidate's two segments share a link with each other.
+    SegmentsOverlap,
+    /// A segment crosses a link the health mask reports dead.
+    DeadLink,
+    /// A segment crosses a link claimed by an already-accepted path.
+    LinkInUse,
+}
+
+/// Decision counters from one proxy search — the planner's raw material
+/// for `planner.proxy.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates whose two-segment path was actually routed and checked.
+    pub candidates_tried: u64,
+    /// Candidates accepted into the selection.
+    pub accepted: u64,
+    /// Rejections: segment self-overlap or overlap with accepted paths.
+    pub rejected_overlap: u64,
+    /// Candidates rejected because a segment crossed a dead link.
+    pub dead_link_skips: u64,
+    /// Candidates skipped because the proxy node itself was down.
+    pub down_node_skips: u64,
+    /// Candidates skipped because the node was forbidden (group member).
+    pub forbidden_skips: u64,
+}
+
 /// Try one candidate proxy; `used` holds links claimed by accepted paths.
 pub(crate) fn try_candidate(
     shape: &Shape,
@@ -94,25 +125,45 @@ pub(crate) fn try_candidate(
     proxy: NodeId,
     used: &HashSet<bgq_torus::LinkId>,
 ) -> Option<ProxyPath> {
+    let none = HashSet::new();
+    try_candidate_explained(shape, zone, src, dst, proxy, used, &none).ok()
+}
+
+/// [`try_candidate`] with the rejection reason made explicit. `dead`
+/// holds health-mask dead links, checked before `used` so a skip caused
+/// by a failure is distinguishable from ordinary disjointness pressure.
+pub(crate) fn try_candidate_explained(
+    shape: &Shape,
+    zone: Zone,
+    src: NodeId,
+    dst: NodeId,
+    proxy: NodeId,
+    used: &HashSet<bgq_torus::LinkId>,
+    dead: &HashSet<bgq_torus::LinkId>,
+) -> Result<ProxyPath, RejectReason> {
     if proxy == src || proxy == dst {
-        return None;
+        return Err(RejectReason::Endpoint);
     }
     let to_proxy = route(shape, src, proxy, zone);
     let from_proxy = route(shape, proxy, dst, zone);
     // The two segments of one path must not overlap each other…
     if to_proxy.shares_link_with(&from_proxy) {
-        return None;
+        return Err(RejectReason::SegmentsOverlap);
     }
-    // …nor any link already claimed by another path.
     let candidate = ProxyPath {
         proxy,
         to_proxy,
         from_proxy,
     };
-    if path_links(&candidate).any(|l| used.contains(&l)) {
-        return None;
+    // …nor cross a dead link…
+    if path_links(&candidate).any(|l| dead.contains(&l)) {
+        return Err(RejectReason::DeadLink);
     }
-    Some(candidate)
+    // …nor any link already claimed by another path.
+    if path_links(&candidate).any(|l| used.contains(&l)) {
+        return Err(RejectReason::LinkInUse);
+    }
+    Ok(candidate)
 }
 
 /// Algorithm 1, parts I–II, for a single source/destination pair.
@@ -160,6 +211,23 @@ pub fn find_proxies_avoiding(
     cfg: &ProxySearchConfig,
     health: &HealthMask,
 ) -> ProxySelection {
+    find_proxies_avoiding_with_stats(shape, zone, src, dst, forbidden, cfg, health).0
+}
+
+/// [`find_proxies_avoiding`] plus the search's decision counters: how
+/// many candidates were routed, accepted, rejected for overlap, or
+/// skipped for dead links / down nodes / forbidden membership. The
+/// selection is identical to the plain search — the stats are a pure
+/// by-product of the same traversal.
+pub fn find_proxies_avoiding_with_stats(
+    shape: &Shape,
+    zone: Zone,
+    src: NodeId,
+    dst: NodeId,
+    forbidden: &HashSet<NodeId>,
+    cfg: &ProxySearchConfig,
+    health: &HealthMask,
+) -> (ProxySelection, SearchStats) {
     let src_c = shape.coord(src);
     let dst_c = shape.coord(dst);
     let hops = shape.hops_per_dim(src_c, dst_c);
@@ -170,10 +238,10 @@ pub fn find_proxies_avoiding(
     let mut dims: Vec<Dim> = Dim::ALL.to_vec();
     dims.sort_by_key(|d| std::cmp::Reverse(hops[d.index()]));
 
-    // Dead links count as "already claimed": try_candidate then rejects
-    // any path that would cross one.
-    let mut used: HashSet<bgq_torus::LinkId> = health.dead_links.iter().copied().collect();
+    let dead: HashSet<bgq_torus::LinkId> = health.dead_links.iter().copied().collect();
+    let mut used: HashSet<bgq_torus::LinkId> = HashSet::new();
     let mut paths: Vec<ProxyPath> = Vec::new();
+    let mut stats = SearchStats::default();
 
     'dirs: for dim in dims {
         for sign in [Sign::Plus, Sign::Minus] {
@@ -194,24 +262,36 @@ pub fn find_proxies_avoiding(
                 from_dst = shape.neighbor(from_dst, dir);
                 for c in [from_src, from_dst] {
                     let p = shape.node_id(c);
-                    if forbidden.contains(&p) || health.down_nodes.contains(&p) {
+                    if forbidden.contains(&p) {
+                        stats.forbidden_skips += 1;
                         continue;
                     }
-                    if let Some(path) = try_candidate(shape, zone, src, dst, p, &used) {
-                        used.extend(path_links(&path));
-                        paths.push(path);
-                        break 'offsets; // one proxy per direction
+                    if health.down_nodes.contains(&p) {
+                        stats.down_node_skips += 1;
+                        continue;
+                    }
+                    stats.candidates_tried += 1;
+                    match try_candidate_explained(shape, zone, src, dst, p, &used, &dead) {
+                        Ok(path) => {
+                            used.extend(path_links(&path));
+                            paths.push(path);
+                            stats.accepted += 1;
+                            break 'offsets; // one proxy per direction
+                        }
+                        Err(RejectReason::DeadLink) => stats.dead_link_skips += 1,
+                        Err(_) => stats.rejected_overlap += 1,
                     }
                 }
             }
         }
     }
 
-    if paths.len() < cfg.min_proxies {
+    let selection = if paths.len() < cfg.min_proxies {
         ProxySelection { paths: Vec::new() }
     } else {
         ProxySelection { paths }
-    }
+    };
+    (selection, stats)
 }
 
 /// A group of proxies for a group-to-group transfer: one proxy per source,
@@ -697,6 +777,73 @@ mod tests {
         for p in sel.proxies() {
             assert!(!health.down_nodes.contains(&p), "selected a down node {p}");
         }
+    }
+
+    #[test]
+    fn stats_search_returns_the_same_selection() {
+        let shape = standard_shape(128).unwrap();
+        let mut health = HealthMask::healthy();
+        let free = find_proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+        );
+        health.dead_links.extend(path_links(&free.paths[0]));
+        let plain = find_proxies_avoiding(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+            &health,
+        );
+        let (with_stats, stats) = find_proxies_avoiding_with_stats(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+            &health,
+        );
+        assert_eq!(plain.proxies(), with_stats.proxies());
+        assert_eq!(stats.accepted as usize, with_stats.len());
+        assert!(stats.candidates_tried >= stats.accepted);
+        assert!(
+            stats.dead_link_skips >= 1,
+            "killing a whole selected path must surface as dead-link skips: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stats_count_down_node_and_forbidden_skips() {
+        let shape = standard_shape(128).unwrap();
+        let free = find_proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+        );
+        let mut health = HealthMask::healthy();
+        health.down_nodes.insert(free.proxies()[0]);
+        let forbidden: HashSet<NodeId> = free.proxies()[1..2].iter().copied().collect();
+        let (_, stats) = find_proxies_avoiding_with_stats(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &forbidden,
+            &cfg(),
+            &health,
+        );
+        assert!(stats.down_node_skips >= 1, "{stats:?}");
+        assert!(stats.forbidden_skips >= 1, "{stats:?}");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::config::SimConfig;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::graph::{TransferGraph, TransferId, TransferSpec};
+use crate::obs::{HeatmapSample, SimObserver};
 use crate::waterfill::{FlowDemand, Waterfill};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -212,6 +213,30 @@ impl Simulator {
     /// Panics if the graph or the plan references a node or resource
     /// outside the network.
     pub fn run_with_faults(&self, graph: &TransferGraph, faults: &FaultPlan) -> SimReport {
+        self.run_inner(graph, faults, None)
+    }
+
+    /// [`run_with_faults`](Simulator::run_with_faults) with passive
+    /// observation: engine events (waterfill re-runs, fault applications,
+    /// stall/resume transitions, undelivered transfers) and a per-epoch
+    /// [`crate::LinkHeatmap`] accumulate into `obs`. The returned report
+    /// is bit-identical to an unobserved run on the same inputs — the
+    /// observer is write-only and never influences the event sequence.
+    pub fn run_observed(
+        &self,
+        graph: &TransferGraph,
+        faults: &FaultPlan,
+        obs: &mut SimObserver,
+    ) -> SimReport {
+        self.run_inner(graph, faults, Some(obs))
+    }
+
+    fn run_inner(
+        &self,
+        graph: &TransferGraph,
+        faults: &FaultPlan,
+        mut obs: Option<&mut SimObserver>,
+    ) -> SimReport {
         let n = graph.len();
         let specs = graph.specs();
         let have_faults = !faults.is_empty();
@@ -374,6 +399,9 @@ impl Simulator {
                         push(&mut heap, &mut seq, now + lat, Event::Delivered(tid));
                     } else if have_faults && is_blocked(&dead, &node_down, spec) {
                         // Born stalled: wait for the fault to heal.
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.stalls.push((now, tid));
+                        }
                         stalled.push(ActiveFlow {
                             tid,
                             remaining: spec.bytes as f64,
@@ -463,6 +491,9 @@ impl Simulator {
                             }
                         }
                     }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.fault_events += 1;
+                    }
                     // Re-partition running vs. stalled flows under the new
                     // health state, preserving arrival order (determinism).
                     let mut i = 0;
@@ -470,6 +501,9 @@ impl Simulator {
                         if is_blocked(&dead, &node_down, &specs[active[i].tid as usize]) {
                             let mut f = active.remove(i);
                             f.rate = 0.0;
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.stalls.push((now, f.tid));
+                            }
                             stalled.push(f);
                         } else {
                             i += 1;
@@ -478,7 +512,11 @@ impl Simulator {
                     let mut i = 0;
                     while i < stalled.len() {
                         if !is_blocked(&dead, &node_down, &specs[stalled[i].tid as usize]) {
-                            active.push(stalled.remove(i));
+                            let f = stalled.remove(i);
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.resumes.push((now, f.tid));
+                            }
+                            active.push(f);
                         } else {
                             i += 1;
                         }
@@ -495,6 +533,24 @@ impl Simulator {
                 .unwrap_or(true);
             if rates_dirty && boundary {
                 epoch += 1;
+                if let Some(o) = obs.as_deref_mut() {
+                    // Sample the fluid state at the epoch boundary:
+                    // remaining bytes of active flows, spread over their
+                    // routes. Observer-only work — the report's floats are
+                    // untouched.
+                    o.waterfill_runs += 1;
+                    let mut bytes_in_flight = vec![0.0f64; self.capacities.len()];
+                    for f in &active {
+                        for r in &specs[f.tid as usize].route {
+                            bytes_in_flight[r.0 as usize] += f.remaining.max(0.0);
+                        }
+                    }
+                    o.heatmap.samples.push(HeatmapSample {
+                        time: now,
+                        epoch,
+                        bytes_in_flight,
+                    });
+                }
                 if !active.is_empty() {
                     let demands: Vec<FlowDemand> = active
                         .iter()
@@ -557,6 +613,12 @@ impl Simulator {
                 }
             })
             .collect();
+        if let Some(o) = obs {
+            o.transfers_undelivered += status
+                .iter()
+                .filter(|&&s| s != TransferStatus::Delivered)
+                .count() as u64;
+        }
         let makespan = delivery_time.iter().copied().fold(0.0, f64::max);
         SimReport {
             delivery_time,
@@ -916,6 +978,58 @@ mod tests {
         let rep = s.run_with_faults(&g, &plan);
         assert_eq!(rep.status_of(a), TransferStatus::Stalled);
         assert!((rep.delivered_at(b) - 13.5).abs() < 1e-6, "{}", rep.delivered_at(b));
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_bit_for_bit() {
+        use crate::obs::SimObserver;
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0), ResourceId(1)]));
+        g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(0)]));
+        let plan = FaultPlan::new()
+            .fail_link(6.0, ResourceId(1))
+            .restore_link(9.0, ResourceId(1));
+
+        let plain = s.run_with_faults(&g, &plan);
+        let mut obs = SimObserver::new();
+        let watched = s.run_observed(&g, &plan, &mut obs);
+
+        let bits = |r: &SimReport| -> Vec<u64> {
+            r.delivery_time
+                .iter()
+                .chain(r.flow_start_time.iter())
+                .chain([r.makespan, r.end_time].iter())
+                .map(|f| f.to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&plain), bits(&watched));
+        assert_eq!(plain.status, watched.status);
+
+        assert!(obs.waterfill_runs > 0);
+        assert_eq!(obs.fault_events, 2);
+        assert_eq!(obs.stalls, vec![(6.0, a.index() as u32)]);
+        assert_eq!(obs.resumes, vec![(9.0, a.index() as u32)]);
+        assert_eq!(obs.transfers_undelivered, 0);
+        assert!(!obs.heatmap.is_empty());
+        // Link 0 carried both flows at the first epoch: 2000 bytes in flight.
+        assert_eq!(obs.heatmap.samples[0].bytes_in_flight[0], 2000.0);
+    }
+
+    #[test]
+    fn observer_counts_undelivered_transfers() {
+        use crate::obs::SimObserver;
+        let s = sim(3, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(1)]).after(vec![a]));
+        let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
+        let mut obs = SimObserver::new();
+        let rep = s.run_observed(&g, &plan, &mut obs);
+        assert!(!rep.all_delivered());
+        assert_eq!(obs.transfers_undelivered, 2); // one stalled, one never started
+        assert_eq!(obs.stalls.len(), 1);
+        assert!(obs.resumes.is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod config;
 pub mod engine;
 pub mod fault;
 pub mod graph;
+pub mod obs;
 pub mod stats;
 pub mod trace;
 pub mod waterfill;
@@ -38,9 +39,10 @@ pub use config::SimConfig;
 pub use engine::{SimReport, Simulator, TransferStatus};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use graph::{ResourceId, TransferGraph, TransferId, TransferSpec};
+pub use obs::{HeatmapSample, LinkHeatmap, SimObserver};
 pub use stats::{
-    active_fraction, activity_timeline, node_traffic, stragglers, utilization,
-    windowed_throughput, Utilization,
+    active_fraction, activity_timeline, node_traffic, stragglers, try_active_fraction,
+    try_utilization, utilization, windowed_throughput, StatsError, Utilization,
 };
 pub use trace::{gantt, to_csv as trace_to_csv, trace, TraceRow};
 pub use waterfill::{FlowDemand, Waterfill};

@@ -1,0 +1,117 @@
+//! Engine-side observation: a [`SimObserver`] the engine fills in during
+//! an observed run ([`Simulator::run_observed`]) and the [`LinkHeatmap`]
+//! time series it carries.
+//!
+//! Observation is strictly *passive*: the engine records into the
+//! observer but never branches on it, and the observed code path
+//! performs exactly the same float operations as the unobserved one —
+//! so an observed run produces a bit-identical [`SimReport`] to a plain
+//! [`Simulator::run_with_faults`] on the same inputs. Every recorded
+//! quantity is keyed on simulated time and is therefore reproducible
+//! run-over-run and across any thread fan-out above the engine.
+//!
+//! [`Simulator::run_observed`]: crate::Simulator::run_observed
+//! [`SimReport`]: crate::SimReport
+
+/// One heatmap sample: the fluid state at a waterfill epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatmapSample {
+    /// Simulated time of the rate recomputation.
+    pub time: f64,
+    /// The engine's rate-epoch counter after the recomputation.
+    pub epoch: u64,
+    /// Per-resource bytes in flight: the sum of remaining bytes of every
+    /// *active* flow whose route crosses the resource. Stalled flows are
+    /// excluded, mirroring the waterfill's demand set.
+    pub bytes_in_flight: Vec<f64>,
+}
+
+/// Time series of per-resource bytes-in-flight, sampled at every
+/// waterfill epoch (flow arrivals, departures and fault events — exactly
+/// the instants where rates change).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkHeatmap {
+    pub samples: Vec<HeatmapSample>,
+}
+
+impl LinkHeatmap {
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// CSV rows `epoch,time,resource,bytes_in_flight`, zero entries
+    /// skipped (sparse patterns touch a tiny fraction of the links; a
+    /// dense dump would be almost all zeros).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,time,resource,bytes_in_flight\n");
+        for s in &self.samples {
+            for (r, &b) in s.bytes_in_flight.iter().enumerate() {
+                if b > 0.0 {
+                    out.push_str(&format!("{},{:?},{r},{b:?}\n", s.epoch, s.time));
+                }
+            }
+        }
+        out
+    }
+
+    /// The peak bytes-in-flight seen on `resource` across all samples.
+    pub fn peak(&self, resource: usize) -> f64 {
+        self.samples
+            .iter()
+            .filter_map(|s| s.bytes_in_flight.get(resource))
+            .fold(0.0, |a, &b| a.max(b))
+    }
+}
+
+/// Collected engine events for one observed run. Counters accumulate, so
+/// one observer can be threaded through several runs (e.g. the attempts
+/// of a resilient retry loop).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimObserver {
+    /// Rate recomputations performed (waterfill re-runs).
+    pub waterfill_runs: u64,
+    /// Fault events applied from the plan.
+    pub fault_events: u64,
+    /// `(time, transfer)` pairs for flows frozen by a fault — either
+    /// caught mid-flight by a re-partition or born stalled.
+    pub stalls: Vec<(f64, u32)>,
+    /// `(time, transfer)` pairs for flows resumed by a recovery.
+    pub resumes: Vec<(f64, u32)>,
+    /// Transfers that did not reach `Delivered` by the end of a run
+    /// (stalled or never started) — the silent remainder that
+    /// `aggregate_throughput` guards against.
+    pub transfers_undelivered: u64,
+    /// Per-resource bytes-in-flight at every waterfill epoch.
+    pub heatmap: LinkHeatmap,
+}
+
+impl SimObserver {
+    pub fn new() -> SimObserver {
+        SimObserver::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_csv_skips_zero_cells() {
+        let hm = LinkHeatmap {
+            samples: vec![HeatmapSample {
+                time: 1.0,
+                epoch: 1,
+                bytes_in_flight: vec![0.0, 500.0],
+            }],
+        };
+        let csv = hm.to_csv();
+        assert_eq!(csv, "epoch,time,resource,bytes_in_flight\n1,1.0,1,500.0\n");
+        assert_eq!(hm.peak(1), 500.0);
+        assert_eq!(hm.peak(0), 0.0);
+        assert_eq!(hm.len(), 1);
+    }
+}

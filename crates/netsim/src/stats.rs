@@ -25,16 +25,61 @@ pub struct Utilization {
     pub busiest: Option<u32>,
 }
 
+/// Why a stats computation could not run on a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The report was produced without `collect_link_stats`.
+    MissingLinkStats,
+    /// The report's per-resource counters and the capacity table disagree
+    /// on length (report from a different network).
+    CapacityMismatch { resources: usize, capacities: usize },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::MissingLinkStats => {
+                write!(f, "report lacks link stats; enable collect_link_stats")
+            }
+            StatsError::CapacityMismatch {
+                resources,
+                capacities,
+            } => write!(
+                f,
+                "report has {resources} resources but {capacities} capacities were given"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// Compute utilization over `capacities` from a report with link stats.
 ///
 /// # Panics
-/// Panics if the report was produced without `collect_link_stats`.
+/// Panics if the report was produced without `collect_link_stats` or the
+/// capacity table does not match; use [`try_utilization`] to handle those
+/// as values.
 pub fn utilization(report: &SimReport, capacities: &[f64]) -> Utilization {
+    try_utilization(report, capacities).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`utilization`], matching the workspace's `try_*`
+/// convention for conditions a caller can meaningfully handle.
+pub fn try_utilization(
+    report: &SimReport,
+    capacities: &[f64],
+) -> Result<Utilization, StatsError> {
     let bytes = report
         .resource_bytes
         .as_ref()
-        .expect("report lacks link stats; enable collect_link_stats");
-    assert_eq!(bytes.len(), capacities.len());
+        .ok_or(StatsError::MissingLinkStats)?;
+    if bytes.len() != capacities.len() {
+        return Err(StatsError::CapacityMismatch {
+            resources: bytes.len(),
+            capacities: capacities.len(),
+        });
+    }
     let span = report.makespan.max(f64::MIN_POSITIVE);
 
     let mut active = 0usize;
@@ -52,27 +97,35 @@ pub fn utilization(report: &SimReport, capacities: &[f64]) -> Utilization {
             }
         }
     }
-    Utilization {
+    Ok(Utilization {
         active_resources: active,
         idle_resources: bytes.len() - active,
         mean_active_utilization: if active > 0 { sum_active / active as f64 } else { 0.0 },
         peak_utilization: peak,
         busiest,
-    }
+    })
 }
 
 /// Fraction of resources that carried any traffic — the paper's notion of
 /// resource utilization for sparse patterns ("only specific regions of the
 /// system are involved", §IV.A).
+///
+/// # Panics
+/// Panics without `collect_link_stats`; see [`try_active_fraction`].
 pub fn active_fraction(report: &SimReport) -> f64 {
+    try_active_fraction(report).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`active_fraction`].
+pub fn try_active_fraction(report: &SimReport) -> Result<f64, StatsError> {
     let bytes = report
         .resource_bytes
         .as_ref()
-        .expect("report lacks link stats");
+        .ok_or(StatsError::MissingLinkStats)?;
     if bytes.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
-    bytes.iter().filter(|&&b| b > 0.0).count() as f64 / bytes.len() as f64
+    Ok(bytes.iter().filter(|&&b| b > 0.0).count() as f64 / bytes.len() as f64)
 }
 
 /// Per-node byte totals (sent, received) for a run.
@@ -261,6 +314,32 @@ mod tests {
     fn zero_windows_panics() {
         let (rep, g, _) = run_two_flows();
         activity_timeline(&g, &rep, 0);
+    }
+
+    #[test]
+    fn try_utilization_reports_errors_as_values() {
+        let (rep, _g, caps) = run_two_flows();
+        // Matching inputs: same answer as the panicking wrapper.
+        assert_eq!(try_utilization(&rep, &caps), Ok(utilization(&rep, &caps)));
+        // Capacity table from a different network.
+        let err = try_utilization(&rep, &[100.0]).unwrap_err();
+        assert_eq!(
+            err,
+            StatsError::CapacityMismatch { resources: 3, capacities: 1 }
+        );
+        // No link stats collected.
+        let mut c = cfg();
+        c.collect_link_stats = false;
+        let sim = Simulator::new(2, vec![100.0], c);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 1, 10, vec![ResourceId(0)]));
+        let bare = sim.run(&g);
+        assert_eq!(
+            try_utilization(&bare, &[100.0]).unwrap_err(),
+            StatsError::MissingLinkStats
+        );
+        assert_eq!(try_active_fraction(&bare), Err(StatsError::MissingLinkStats));
+        assert!(err.to_string().contains("3 resources"));
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Named counters, gauges and fixed-bucket histograms, snapshotable to
+//! deterministic sorted CSV/JSON.
+//!
+//! Instruments are handed out as cheap `Arc` handles; hot loops hoist
+//! the handle once and update lock-free. Counters and histogram buckets
+//! are *sharded*: each updating thread lands on one of a fixed set of
+//! atomic cells (per-thread stripe, merged at scrape), so concurrent
+//! increments do not bounce one cache line between cores.
+//!
+//! Determinism: counter and bucket values are unsigned integer sums, so
+//! any interleaving of updates produces the same totals; snapshots
+//! iterate a `BTreeMap` (sorted, deduplicated by construction). Gauges
+//! hold a single last-written value and are therefore only deterministic
+//! when written from deterministic (single-threaded or value-racing-free)
+//! code — the workspace uses them for end-of-run facts, not hot paths.
+//! Wall-clock quantities must be registered under
+//! [`NON_GOLDEN_PREFIX`]; [`MetricsSnapshot::to_csv`] and
+//! [`MetricsSnapshot::to_json`] exclude them so golden artifacts never
+//! embed nondeterminism ([`MetricsSnapshot::to_csv_all`] keeps them for
+//! human inspection).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Name prefix marking metrics that are *not* reproducible across runs
+/// (wall-clock timings, host facts). Excluded from golden serializers.
+pub const NON_GOLDEN_PREFIX: &str = "wall.";
+
+/// Number of atomic stripes per counter. A small power of two: enough to
+/// spread the handful of worker threads an [`ExperimentSession`] uses,
+/// cheap to sum at scrape.
+///
+/// [`ExperimentSession`]: https://docs.rs/bgq-bench
+const SHARDS: usize = 8;
+
+/// The calling thread's stripe index, assigned once per thread.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+#[derive(Default)]
+struct Stripes {
+    cells: [AtomicU64; SHARDS],
+}
+
+impl Stripes {
+    fn add(&self, delta: u64) {
+        self.cells[shard_index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A monotonically increasing sum. Clone freely; all clones share the
+/// same cells.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<Stripes>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.0.add(delta);
+    }
+
+    /// The merged total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.0.sum()
+    }
+}
+
+/// A last-written `f64` value (bit-stored, so NaN round-trips).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+inf` bucket catches the rest.
+    bounds: Vec<f64>,
+    /// One stripe set per bucket (`bounds.len() + 1` entries).
+    buckets: Vec<Stripes>,
+}
+
+/// A fixed-bucket histogram of `f64` observations. Only integer bucket
+/// counts are kept — no floating-point sum — so the scrape is exact and
+/// order-independent.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, Stripes::default);
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+        }))
+    }
+
+    pub fn observe(&self, value: f64) {
+        let i = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[i].add(1);
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Merged per-bucket counts (`bounds().len() + 1` entries; the last
+    /// is the overflow bucket).
+    pub fn counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|s| s.sum()).collect()
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|s| s.sum()).sum()
+    }
+}
+
+/// A registry of named instruments. Lookups take a mutex on a
+/// `BTreeMap` — fine for registration and for cold paths; hot loops
+/// should hoist the returned handle.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use.
+    ///
+    /// # Panics
+    /// Panics if the name was already registered with different bounds —
+    /// two call sites silently disagreeing on buckets would corrupt the
+    /// artifact.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let h = self
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone();
+        assert_eq!(
+            h.bounds(),
+            bounds,
+            "histogram {name:?} re-registered with different bounds"
+        );
+        h
+    }
+
+    /// A point-in-time, merged view of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), (v.bounds().to_vec(), v.counts())))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters.lock().unwrap().len())
+            .field("gauges", &self.gauges.lock().unwrap().len())
+            .field("histograms", &self.histograms.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// A histogram's snapshot payload: `(bucket bounds, per-bucket counts)`.
+pub type HistogramData = (Vec<f64>, Vec<u64>);
+
+/// A merged, name-sorted scrape of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, (bounds, per-bucket counts))`, sorted by name.
+    pub histograms: Vec<(String, HistogramData)>,
+}
+
+/// Shortest-round-trip float formatting (Rust's `{:?}` for `f64`), which
+/// is deterministic for a given bit pattern.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+impl MetricsSnapshot {
+    /// Counter total by exact name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The difference `self - earlier` for counters and histogram bucket
+    /// counts (gauges keep `self`'s values: they are levels, not sums).
+    /// Used to emit per-experiment artifacts from a session-cumulative
+    /// registry. Instruments absent from `earlier` pass through whole.
+    pub fn delta_from(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let base: BTreeMap<&str, u64> = earlier
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        let hbase: BTreeMap<&str, &Vec<u64>> = earlier
+            .histograms
+            .iter()
+            .map(|(k, (_, c))| (k.as_str(), c))
+            .collect();
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), v - base.get(k.as_str()).copied().unwrap_or(0))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, (b, c))| {
+                    let counts = match hbase.get(k.as_str()) {
+                        Some(old) if old.len() == c.len() => {
+                            c.iter().zip(old.iter()).map(|(n, o)| n - o).collect()
+                        }
+                        _ => c.clone(),
+                    };
+                    (k.clone(), (b.clone(), counts))
+                })
+                .collect(),
+        }
+    }
+
+    fn rows(&self, include_non_golden: bool) -> Vec<(&'static str, String, String)> {
+        let keep = |name: &str| include_non_golden || !name.starts_with(NON_GOLDEN_PREFIX);
+        let mut rows = Vec::new();
+        for (name, v) in &self.counters {
+            if keep(name) {
+                rows.push(("counter", name.clone(), v.to_string()));
+            }
+        }
+        for (name, v) in &self.gauges {
+            if keep(name) {
+                rows.push(("gauge", name.clone(), fmt_f64(*v)));
+            }
+        }
+        for (name, (bounds, counts)) in &self.histograms {
+            if !keep(name) {
+                continue;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                // Zero-padded bucket index keeps rows lexically sorted
+                // regardless of how the bound itself formats.
+                let le = bounds
+                    .get(i)
+                    .map(|b| fmt_f64(*b))
+                    .unwrap_or_else(|| "inf".to_string());
+                rows.push((
+                    "histogram",
+                    format!("{name}.bucket{i:02}_le_{le}"),
+                    c.to_string(),
+                ));
+            }
+            rows.push(("histogram", format!("{name}.count"), counts.iter().sum::<u64>().to_string()));
+        }
+        rows.sort();
+        rows
+    }
+
+    fn csv(&self, include_non_golden: bool) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for (kind, name, value) in self.rows(include_non_golden) {
+            out.push_str(&format!("{kind},{name},{value}\n"));
+        }
+        out
+    }
+
+    /// Deterministic CSV: sorted, deduplicated, wall-clock
+    /// (`wall.`-prefixed) metrics excluded. Safe to golden-pin.
+    pub fn to_csv(&self) -> String {
+        self.csv(false)
+    }
+
+    /// Like [`MetricsSnapshot::to_csv`] but with the non-golden
+    /// (wall-clock) metrics included, for human inspection only.
+    pub fn to_csv_all(&self) -> String {
+        self.csv(true)
+    }
+
+    /// Deterministic JSON object (sorted keys, wall-clock metrics
+    /// excluded), for tooling that prefers structure over CSV.
+    pub fn to_json(&self) -> String {
+        let keep = |name: &str| !name.starts_with(NON_GOLDEN_PREFIX);
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in self.counters.iter().filter(|(n, _)| keep(n)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {v}", crate::json::escape(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let mut first = true;
+        for (name, v) in self.gauges.iter().filter(|(n, _)| keep(n)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {}", crate::json::escape(name), fmt_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let mut first = true;
+        for (name, (bounds, counts)) in self.histograms.iter().filter(|(n, _)| keep(n)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let b: Vec<String> = bounds.iter().map(|v| fmt_f64(*v)).collect();
+            let c: Vec<String> = counts.iter().map(|v| v.to_string()).collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"bounds\": [{}], \"counts\": [{}]}}",
+                crate::json::escape(name),
+                b.join(", "),
+                c.join(", ")
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+        assert_eq!(reg.counter("x").value(), 4000, "same name, same cells");
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("g");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(reg.gauge("g").get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_bounds_must_agree() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h", &[1.0]);
+        reg.histogram("h", &[2.0]);
+    }
+
+    #[test]
+    fn snapshot_csv_is_sorted_and_deduplicated() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(2);
+        reg.counter("a.first").inc();
+        reg.counter("z.last").inc(); // same instrument, not a new row
+        reg.gauge("m.level").set(3.0);
+        let csv = reg.snapshot().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,value");
+        let mut sorted = lines[1..].to_vec();
+        sorted.sort();
+        assert_eq!(lines[1..], sorted[..], "rows must come out sorted");
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("z.last")).count(),
+            1,
+            "one row per instrument"
+        );
+        assert!(csv.contains("counter,z.last,3"));
+        assert!(csv.contains("gauge,m.level,3.0"));
+    }
+
+    #[test]
+    fn wall_clock_metrics_are_excluded_from_golden_output() {
+        let reg = MetricsRegistry::new();
+        reg.counter("wall.point_ms_total").add(123);
+        reg.counter("sim.events").add(7);
+        let snap = reg.snapshot();
+        assert!(!snap.to_csv().contains("wall."));
+        assert!(!snap.to_json().contains("wall."));
+        assert!(snap.to_csv_all().contains("counter,wall.point_ms_total,123"));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_buckets() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h", &[10.0]);
+        c.add(5);
+        h.observe(1.0);
+        let before = reg.snapshot();
+        c.add(3);
+        h.observe(100.0);
+        let d = reg.snapshot().delta_from(&before);
+        assert_eq!(d.counter("c"), Some(3));
+        assert_eq!(d.histograms[0].1 .1, vec![0, 1]);
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a\"quoted\"").inc();
+        reg.gauge("g").set(0.5);
+        reg.histogram("h", &[1.0]).observe(2.0);
+        crate::json::validate(&reg.snapshot().to_json()).expect("snapshot JSON must parse");
+    }
+}

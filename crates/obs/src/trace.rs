@@ -1,0 +1,278 @@
+//! A span/event recorder keyed on **simulated time**, exporting Chrome
+//! trace-event JSON (the format Perfetto and `chrome://tracing` load).
+//!
+//! Because timestamps come from the simulation clock — never the wall
+//! clock — and the exporter totally orders events and tracks before
+//! serializing, the JSON is byte-identical no matter how many worker
+//! threads produced the events or in what order they arrived.
+//!
+//! Mapping onto the Chrome model: the whole run is one process
+//! (`pid 1`); each named *track* becomes one thread row (`tid` assigned
+//! by sorted track name, announced with `thread_name` metadata events).
+//! Spans are complete events (`ph:"X"`), instants are `ph:"i"`, and
+//! numeric time series (e.g. bytes-in-flight per link axis) are counter
+//! events (`ph:"C"`), which Perfetto renders as a little area chart.
+
+use crate::json::escape;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Microseconds, formatted with fixed precision so equal inputs yield
+/// equal bytes.
+fn us(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e6)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Kind {
+    /// Complete event: duration in seconds.
+    Span { dur: f64 },
+    /// Instant event.
+    Instant,
+    /// Counter sample: series name -> value.
+    Counter { value: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    track: String,
+    name: String,
+    /// Simulated start time, seconds.
+    ts: f64,
+    kind: Kind,
+    /// Extra `args` key/values (shown in the Perfetto detail pane).
+    args: Vec<(String, String)>,
+}
+
+/// Collects simulated-time spans, instants and counter samples; exports
+/// them as Chrome trace-event JSON.
+///
+/// ```
+/// use bgq_obs::Recorder;
+///
+/// let rec = Recorder::new();
+/// rec.span("axis +B", "chunk n0->n2", 0.0, 1.5e-3, &[("bytes", "1048576".into())]);
+/// rec.instant("faults", "link down", 1.0e-3);
+/// rec.counter("axis +B", "bytes_in_flight", 0.0, 1048576.0);
+/// let json = rec.to_chrome_json();
+/// bgq_obs::json::validate(&json).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Record a complete span on `track` over `[start, end]` simulated
+    /// seconds. `args` are extra detail-pane fields (values rendered as
+    /// JSON strings).
+    pub fn span(&self, track: &str, name: &str, start: f64, end: f64, args: &[(&str, String)]) {
+        self.push(Event {
+            track: track.to_string(),
+            name: name.to_string(),
+            ts: start,
+            kind: Kind::Span {
+                dur: (end - start).max(0.0),
+            },
+            args: own(args),
+        });
+    }
+
+    /// Record an instantaneous event at simulated time `t`.
+    pub fn instant(&self, track: &str, name: &str, t: f64) {
+        self.push(Event {
+            track: track.to_string(),
+            name: name.to_string(),
+            ts: t,
+            kind: Kind::Instant,
+            args: Vec::new(),
+        });
+    }
+
+    /// Record one sample of the counter series `name` on `track`.
+    pub fn counter(&self, track: &str, name: &str, t: f64, value: f64) {
+        self.push(Event {
+            track: track.to_string(),
+            name: name.to_string(),
+            ts: t,
+            kind: Kind::Counter { value },
+            args: Vec::new(),
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy every event of `other` into `self` with `prefix` prepended
+    /// to its track name — how independent runs (e.g. a direct and a
+    /// multipath execution of the same figure) share one timeline.
+    pub fn merge_prefixed(&self, other: &Recorder, prefix: &str) {
+        let mut mine = self.events.lock().unwrap();
+        for e in other.events.lock().unwrap().iter() {
+            let mut e = e.clone();
+            e.track = format!("{prefix}{}", e.track);
+            mine.push(e);
+        }
+    }
+
+    fn push(&self, e: Event) {
+        debug_assert!(e.ts.is_finite(), "trace events carry finite simulated time");
+        self.events.lock().unwrap().push(e);
+    }
+
+    /// Serialize to Chrome trace-event JSON. Events are totally ordered
+    /// (timestamp, track, name, payload) and tracks get stable `tid`s
+    /// from their sorted names, so the bytes are reproducible regardless
+    /// of recording order.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = self.events.lock().unwrap().clone();
+        events.sort_by(|a, b| {
+            a.ts.total_cmp(&b.ts)
+                .then_with(|| a.track.cmp(&b.track))
+                .then_with(|| a.name.cmp(&b.name))
+                .then_with(|| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind)))
+                .then_with(|| a.args.cmp(&b.args))
+        });
+
+        // Stable tids: sorted unique track names, numbered from 1.
+        let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+        for e in &events {
+            let next = tids.len() + 1;
+            tids.entry(e.track.as_str()).or_insert(next);
+        }
+        // BTreeMap iteration re-numbers in sorted order.
+        let tids: BTreeMap<String, usize> = tids
+            .keys()
+            .enumerate()
+            .map(|(i, k)| (k.to_string(), i + 1))
+            .collect();
+
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut emit = |line: String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(&line);
+        };
+        for (track, tid) in &tids {
+            emit(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    escape(track)
+                ),
+                &mut first,
+            );
+        }
+        for e in &events {
+            let tid = tids[&e.track];
+            let ts = us(e.ts);
+            let line = match &e.kind {
+                Kind::Span { dur } => format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":{},\
+                     \"name\":{},\"args\":{{{}}}}}",
+                    us(*dur),
+                    escape(&e.name),
+                    args_json(&e.args)
+                ),
+                Kind::Instant => format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
+                     \"name\":{}}}",
+                    escape(&e.name)
+                ),
+                Kind::Counter { value } => format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"name\":{},\
+                     \"args\":{{{}: {:?}}}}}",
+                    escape(&e.name),
+                    escape(&e.name),
+                    value
+                ),
+            };
+            emit(line, &mut first);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+fn own(args: &[(&str, String)]) -> Vec<(String, String)> {
+    args.iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+fn args_json(args: &[(String, String)]) -> String {
+    args.iter()
+        .map(|(k, v)| format!("{}: {}", escape(k), escape(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rec: &Recorder) {
+        rec.span("axis +B", "chunk 1", 0.0, 2.0e-3, &[("bytes", "42".into())]);
+        rec.span("axis +C", "chunk 2", 1.0e-3, 3.0e-3, &[]);
+        rec.instant("faults", "link down", 1.5e-3);
+        rec.counter("axis +B", "bytes_in_flight", 0.0, 42.0);
+    }
+
+    #[test]
+    fn export_is_order_independent() {
+        let a = Recorder::new();
+        sample(&a);
+        let b = Recorder::new();
+        // Same events, recorded in a different order.
+        b.counter("axis +B", "bytes_in_flight", 0.0, 42.0);
+        b.instant("faults", "link down", 1.5e-3);
+        b.span("axis +C", "chunk 2", 1.0e-3, 3.0e-3, &[]);
+        b.span("axis +B", "chunk 1", 0.0, 2.0e-3, &[("bytes", "42".into())]);
+        assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let rec = Recorder::new();
+        sample(&rec);
+        let json = rec.to_chrome_json();
+        crate::json::validate(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"thread_name\""));
+        // Simulated seconds land in the file as microseconds.
+        assert!(json.contains("\"ts\":2000.000") || json.contains("\"dur\":2000.000"));
+    }
+
+    #[test]
+    fn merge_prefixed_separates_timelines() {
+        let direct = Recorder::new();
+        direct.span("axis +B", "put", 0.0, 1.0, &[]);
+        let all = Recorder::new();
+        all.merge_prefixed(&direct, "direct/");
+        let json = all.to_chrome_json();
+        assert!(json.contains("direct/axis +B"));
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn negative_durations_are_clamped() {
+        let rec = Recorder::new();
+        rec.span("t", "backwards", 2.0, 1.0, &[]);
+        assert!(rec.to_chrome_json().contains("\"dur\":0.000"));
+    }
+}

@@ -1,10 +1,19 @@
 # Common development tasks. Run with `just <target>`.
 
 # Build, test, and lint — the gate every change must pass.
-verify:
+verify: obs
     cargo build --release
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Observability smoke check: run fig5 with artifacts, then validate them
+# (JSON parses, CSV sorted/deduplicated, nothing undelivered).
+obs:
+    cargo run --release -p bgq-bench --bin fig5 -- --coarse --threads 4 \
+        --metrics-out results/obs/fig5.metrics.csv \
+        --trace-out results/obs/fig5.trace.json
+    cargo run --release -p bgq-bench --bin obs_report -- --check \
+        results/obs/fig5.metrics.csv results/obs/fig5.trace.json
 
 # Full figure reproduction into results/ (coffee-break sized).
 reproduce:
@@ -24,6 +33,8 @@ cover:
         cargo test --workspace -- --nocapture; \
     fi
 
-# Regenerate the golden reference CSVs after an intentional model change.
+# Regenerate the golden reference CSVs (and the pinned fig5 trace) after
+# an intentional model change.
 update-golden:
     UPDATE_GOLDEN=1 cargo test --release --test golden
+    UPDATE_GOLDEN=1 cargo test --release --test observability
