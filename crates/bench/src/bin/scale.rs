@@ -1,0 +1,65 @@
+//! Solver scaling sweep: full vs. incremental waterfill re-leveling on
+//! the same sparse pattern, 512 → 8,192 nodes.
+//!
+//! Usage: `scale [--max-nodes N] [--out PATH]`
+//!
+//! Writes the machine-readable sweep to `results/BENCH_scale.json`
+//! (override with `--out`) and prints a human table. `--max-nodes 512`
+//! is the smoke configuration used by `just bench-smoke`.
+
+use bgq_bench::scale::{scale_json, scale_point, scale_sizes};
+
+fn main() {
+    let mut max_nodes = 8192u32;
+    let mut out = String::from("results/BENCH_scale.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-nodes" => {
+                let v = args.next().expect("--max-nodes needs a value");
+                max_nodes = v.parse().unwrap_or_else(|_| panic!("bad --max-nodes {v:?}"));
+            }
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => panic!("unknown flag {other:?} (use --max-nodes N / --out PATH)"),
+        }
+    }
+
+    println!("incremental waterfill scaling sweep (full vs. incremental re-leveling)");
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>9} {:>11} {:>8}",
+        "nodes", "transfers", "full ev/s", "incr ev/s", "speedup", "full-levels", "reduced"
+    );
+    let mut points = Vec::new();
+    for nodes in scale_sizes(max_nodes) {
+        let p = scale_point(nodes);
+        println!(
+            "{:>6} {:>9} {:>12.0} {:>12.0} {:>8.2}x {:>5} -> {:<4} {:>6.1}x",
+            p.nodes,
+            p.transfers,
+            p.full.events_per_sec,
+            p.incremental.events_per_sec,
+            p.speedup(),
+            p.full.full_runs,
+            p.incremental.full_runs,
+            p.full_run_reduction()
+        );
+        points.push(p);
+    }
+
+    for p in &points {
+        assert!(
+            p.incremental.incremental_runs > p.incremental.full_runs,
+            "incremental solver showed no benefit at {} nodes ({} incremental vs {} full)",
+            p.nodes,
+            p.incremental.incremental_runs,
+            p.incremental.full_runs
+        );
+    }
+
+    let json = scale_json(&points);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    }
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -14,7 +14,7 @@ use bgq_comm::Program;
 use bgq_netsim::SimConfig;
 use bgq_torus::{shape_for_cores, standard_shape, NodeId, RankMap, Zone};
 use bgq_workloads::{coalesce_to_nodes, pareto_sizes, uniform_sizes, ParetoParams};
-use sdm_core::{diversity_report, plan_direct, AssignPolicy, IoMoveOptions};
+use sdm_core::{diversity_report, plan_direct, AssignPolicy, IoMoveOptions, PlanRequest};
 use std::collections::HashMap;
 
 /// Parse a size like `32M`, `512K`, `1G`, `1048576`.
@@ -69,7 +69,10 @@ fn cmd_plan(cache: &PlanCache, flags: &HashMap<String, String>) -> Result<(), St
 
     let mover = cache.mover(&machine);
     let mut prog = Program::new(&machine);
-    let (handle, decision) = mover.plan_transfer(&mut prog, src, dst, bytes);
+    let outcome = mover
+        .plan(&mut prog, PlanRequest::new(src, dst, bytes))
+        .expect("maskless planning is infallible");
+    let (handle, decision) = (outcome.handle, outcome.decision);
     let rep = prog.run();
 
     let mut base = Program::new(&machine);

@@ -27,6 +27,7 @@ pub mod micro;
 pub mod obs;
 pub mod resilience;
 pub mod runner;
+pub mod scale;
 pub mod table;
 
 pub use args::{ArgError, BenchArgs};
@@ -47,6 +48,7 @@ pub use resilience::{
     default_scenarios, fault_plan_for, resilience_point, Resilience, ResiliencePoint, Scenario,
 };
 pub use runner::{CacheStats, Experiment, ExperimentRun, ExperimentSession, PlanCache, Row};
+pub use scale::{scale_json, scale_point, scale_sizes, ScalePoint, SolverSide};
 pub use table::{fmt_bytes, fmt_gbs, paper_size_sweep, Table};
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use bgq_netsim::SimConfig;
 use bgq_torus::{standard_shape, Dim, Direction, NodeId, Sign, Zone};
 use sdm_core::{
     plan_direct, plan_group_direct, plan_group_via, plan_via_proxies, proxy_groups_along,
-    MultipathOptions, ProxyGroup, ProxySearchConfig,
+    MultipathOptions, PlanRequest, ProxyGroup, ProxySearchConfig,
 };
 use std::collections::HashSet;
 
@@ -51,7 +51,7 @@ pub fn fig5_point(cache: &PlanCache, bytes: u64) -> SweepPoint {
         // numbers below stay the explicit direct/multipath pair.
         let mover = cache.mover(&machine).with_search(cfg.clone());
         let mut scratch = Program::new(&machine);
-        let _ = mover.plan_transfer(&mut scratch, src, dst, bytes);
+        let _ = mover.plan(&mut scratch, PlanRequest::new(src, dst, bytes));
     }
 
     let mut pd = Program::new(&machine);

@@ -29,7 +29,7 @@ use crate::table::fmt_bytes;
 use bgq_comm::{run_resilient_observed, Machine, Program, ResilientOutcome, RetryPolicy};
 use bgq_netsim::{FaultPlan, ResourceId, SimConfig};
 use bgq_torus::{num_links, route, standard_shape, NodeId};
-use sdm_core::{plan_direct, plan_direct_gated, MultipathOptions, SparseMover};
+use sdm_core::{plan_direct, MultipathOptions, PlanPolicy, PlanRequest, SparseMover};
 
 /// Default seed for the random scenarios (the experiment's date stamp).
 pub const DEFAULT_SEED: u64 = 20140914;
@@ -156,16 +156,17 @@ pub fn resilience_point(cache: &PlanCache, bytes: u64, scenario: &Scenario) -> R
     let metrics = cache.metrics().map(|m| m.as_ref());
 
     let direct = run_resilient_observed(&machine, &plan, &policy, SRC, bytes, metrics, |prog, ctx| {
-        plan_direct_gated(
-            prog,
-            SRC,
-            DST,
-            ctx.bytes,
-            &MultipathOptions {
-                gate: ctx.gate,
-                ..Default::default()
-            },
-        )
+        let stubborn = mover.clone().with_multipath(MultipathOptions {
+            gate: ctx.gate,
+            ..Default::default()
+        });
+        stubborn
+            .plan(
+                prog,
+                PlanRequest::new(SRC, DST, ctx.bytes).policy(PlanPolicy::DirectOnly),
+            )
+            .expect("direct-only planning without a health mask is infallible")
+            .handle
     });
 
     let plan_resilient = |plan: &FaultPlan| {
@@ -174,10 +175,13 @@ pub fn resilience_point(cache: &PlanCache, bytes: u64, scenario: &Scenario) -> R
                 gate: ctx.gate,
                 ..Default::default()
             });
-            let (handle, _) = aware
-                .try_plan_transfer_resilient(prog, SRC, DST, ctx.bytes, &ctx.health)
-                .expect("link faults never take an endpoint down");
-            handle
+            aware
+                .plan(
+                    prog,
+                    PlanRequest::new(SRC, DST, ctx.bytes).health(&ctx.health),
+                )
+                .expect("link faults never take an endpoint down")
+                .handle
         })
     };
     let multipath = plan_resilient(&plan);

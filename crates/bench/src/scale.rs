@@ -1,0 +1,194 @@
+//! Scaling sweep for the incremental waterfill solver: the same sparse
+//! transfer pattern simulated once with [`SolverMode::Full`] (re-level
+//! the whole active set at every rate epoch) and once with the default
+//! [`SolverMode::Incremental`] (re-level only the dirty flow/link
+//! closure), across partition sizes up to 8,192 nodes.
+//!
+//! The pattern is the regime the paper's sparse workloads live in: many
+//! link-disjoint neighbor exchanges (each completion perturbs only its
+//! own contention component) plus a thin tail of long-haul transfers
+//! that do share links. Both runs must produce bit-identical reports —
+//! the sweep asserts it — so the only thing the solver mode changes is
+//! how much work each rate epoch costs.
+//!
+//! Results go to `results/BENCH_scale.json` via the `scale` binary.
+
+use bgq_comm::{Machine, Program};
+use bgq_netsim::{SimConfig, SimObserver, SimOptions, SimReport, SolverMode};
+use bgq_torus::{standard_shape, NodeId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One solver mode's measurements at one partition size.
+#[derive(Debug, Clone)]
+pub struct SolverSide {
+    /// Wall-clock seconds for the simulation call.
+    pub wall_secs: f64,
+    /// Events popped from the engine queue.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Re-levels over the entire active set.
+    pub full_runs: u64,
+    /// Re-levels confined to the dirty closure.
+    pub incremental_runs: u64,
+    /// Simulated end time (must match the other side bit-for-bit).
+    pub makespan: f64,
+}
+
+/// Full-vs-incremental comparison at one partition size.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    pub nodes: u32,
+    pub transfers: usize,
+    pub full: SolverSide,
+    pub incremental: SolverSide,
+}
+
+impl ScalePoint {
+    /// Wall-clock improvement of incremental over full re-leveling.
+    pub fn speedup(&self) -> f64 {
+        self.full.wall_secs / self.incremental.wall_secs
+    }
+
+    /// How many full re-levels the dirty-set machinery avoided:
+    /// `full_runs(full mode) / full_runs(incremental mode)`.
+    pub fn full_run_reduction(&self) -> f64 {
+        self.full.full_runs as f64 / (self.incremental.full_runs.max(1)) as f64
+    }
+}
+
+/// Build the sweep's sparse pattern on an `nodes`-node partition:
+/// one neighbor put per 4 nodes (link-disjoint, staggered sizes so
+/// completions spread over many rate epochs) and one long-haul put per
+/// 64 nodes (shared links, real contention).
+fn build_pattern(prog: &mut Program<'_>, nodes: u32) -> usize {
+    let mut transfers = 0;
+    for i in (0..nodes).step_by(4) {
+        // Unique size per transfer so disjoint completions land in
+        // distinct rate epochs instead of batching into a few waves.
+        let bytes = (256u64 << 10) + (i as u64) * 4096;
+        prog.put(NodeId(i), NodeId((i + 1) % nodes), bytes);
+        transfers += 1;
+    }
+    for i in (0..nodes).step_by(64) {
+        prog.put(NodeId(i), NodeId((i + nodes / 2) % nodes), 8 << 20);
+        transfers += 1;
+    }
+    transfers
+}
+
+fn timed_run(prog: &Program<'_>, solver: SolverMode) -> (SolverSide, SimReport) {
+    let mut obs = SimObserver::new();
+    let start = Instant::now();
+    let report = prog.simulate(SimOptions::new().solver(solver).observer(&mut obs));
+    let wall_secs = start.elapsed().as_secs_f64();
+    let side = SolverSide {
+        wall_secs,
+        events: obs.events_processed,
+        events_per_sec: obs.events_processed as f64 / wall_secs.max(1e-9),
+        full_runs: obs.waterfill_full_runs,
+        incremental_runs: obs.waterfill_incremental_runs,
+        makespan: report.end_time,
+    };
+    (side, report)
+}
+
+/// Evaluate one partition size. Panics if the two solver modes disagree
+/// on any delivery time — bit-identity is the engine's contract.
+pub fn scale_point(nodes: u32) -> ScalePoint {
+    let shape = standard_shape(nodes)
+        .unwrap_or_else(|| panic!("no standard {nodes}-node partition"));
+    let machine = Machine::new(shape, SimConfig::default());
+    let mut prog = Program::new(&machine);
+    let transfers = build_pattern(&mut prog, nodes);
+
+    let (full, report_full) = timed_run(&prog, SolverMode::Full);
+    let (incremental, report_inc) = timed_run(&prog, SolverMode::default());
+
+    assert_eq!(
+        report_full.delivery_time, report_inc.delivery_time,
+        "solver modes diverged at {nodes} nodes"
+    );
+    ScalePoint {
+        nodes,
+        transfers,
+        full,
+        incremental,
+    }
+}
+
+/// The partition sizes of the sweep, capped at `max_nodes`.
+pub fn scale_sizes(max_nodes: u32) -> Vec<u32> {
+    [512u32, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= max_nodes)
+        .collect()
+}
+
+fn json_side(out: &mut String, label: &str, s: &SolverSide) {
+    let _ = write!(
+        out,
+        "\"{label}\":{{\"wall_secs\":{:.6},\"events\":{},\"events_per_sec\":{:.1},\
+         \"full_runs\":{},\"incremental_runs\":{},\"makespan\":{:?}}}",
+        s.wall_secs, s.events, s.events_per_sec, s.full_runs, s.incremental_runs, s.makespan
+    );
+}
+
+/// Serialize a sweep as the `BENCH_scale.json` artifact.
+pub fn scale_json(points: &[ScalePoint]) -> String {
+    let mut out = String::from("{\"experiment\":\"scale\",\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"nodes\":{},\"transfers\":{},",
+            p.nodes, p.transfers
+        );
+        json_side(&mut out, "full", &p.full);
+        out.push(',');
+        json_side(&mut out, "incremental", &p.incremental);
+        let _ = write!(
+            out,
+            ",\"wall_speedup\":{:.3},\"full_run_reduction\":{:.1}}}",
+            p.speedup(),
+            p.full_run_reduction()
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_point_is_bit_identical_and_mostly_incremental() {
+        let p = scale_point(512);
+        assert!(p.transfers > 0);
+        // Full mode never takes the incremental path…
+        assert_eq!(p.full.incremental_runs, 0);
+        assert!(p.full.full_runs > 0);
+        // …and the incremental mode resolves the vast majority of epochs
+        // without a full re-level on this disjoint-heavy pattern.
+        assert!(
+            p.incremental.incremental_runs >= 3 * p.incremental.full_runs,
+            "incremental {} vs full {}",
+            p.incremental.incremental_runs,
+            p.incremental.full_runs
+        );
+        assert_eq!(p.full.makespan.to_bits(), p.incremental.makespan.to_bits());
+        assert!(p.full.events > 0 && p.full.events == p.incremental.events);
+    }
+
+    #[test]
+    fn json_artifact_is_valid() {
+        let p = scale_point(512);
+        let json = scale_json(&[p]);
+        bgq_obs::json::validate(&json).expect("BENCH_scale.json must be valid JSON");
+        assert!(json.contains("\"full_run_reduction\""));
+    }
+}

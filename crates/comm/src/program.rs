@@ -8,7 +8,8 @@
 use crate::health::HealthMask;
 use crate::machine::Machine;
 use bgq_netsim::{
-    FaultPlan, SimObserver, SimReport, TransferGraph, TransferId, TransferSpec, TransferStatus,
+    FaultPlan, SimObserver, SimOptions, SimReport, TransferGraph, TransferId, TransferSpec,
+    TransferStatus,
 };
 use bgq_obs::MetricsRegistry;
 use bgq_torus::NodeId;
@@ -229,15 +230,23 @@ impl<'m> Program<'m> {
         )
     }
 
+    /// Execute the program on a fresh simulator under `opts` — the full
+    /// engine surface ([`SimOptions`] carries the optional fault plan,
+    /// observer and solver mode). The `run*` conveniences below are
+    /// sugar over this.
+    pub fn simulate(&self, opts: SimOptions<'_>) -> SimReport {
+        self.machine.simulator().simulate(&self.graph, opts)
+    }
+
     /// Execute the program on a fresh simulator.
     pub fn run(&self) -> SimReport {
-        self.machine.simulator().run(&self.graph)
+        self.simulate(SimOptions::new())
     }
 
     /// Execute the program under a fault schedule. With an empty plan
     /// this is exactly [`Program::run`].
     pub fn run_with_faults(&self, faults: &FaultPlan) -> SimReport {
-        self.machine.simulator().run_with_faults(&self.graph, faults)
+        self.simulate(SimOptions::new().faults(faults))
     }
 
     /// Execute under a fault schedule with engine observation: waterfill
@@ -245,9 +254,7 @@ impl<'m> Program<'m> {
     /// into `obs`. The report is bit-identical to
     /// [`Program::run_with_faults`] on the same inputs.
     pub fn run_observed(&self, faults: &FaultPlan, obs: &mut SimObserver) -> SimReport {
-        self.machine
-            .simulator()
-            .run_observed(&self.graph, faults, obs)
+        self.simulate(SimOptions::new().faults(faults).observer(obs))
     }
 }
 

@@ -27,15 +27,20 @@
 //! use bgq_comm::{Machine, Program};
 //! use bgq_netsim::SimConfig;
 //! use bgq_torus::{standard_shape, NodeId};
-//! use sdm_core::SparseMover;
+//! use sdm_core::{PlanRequest, SparseMover};
 //!
 //! let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
 //! let mover = SparseMover::new(&machine);
 //! let mut prog = Program::new(&machine);
-//! let (handle, decision) =
-//!     mover.plan_transfer(&mut prog, NodeId(0), NodeId(127), 32 << 20);
+//! let outcome = mover
+//!     .plan(&mut prog, PlanRequest::new(NodeId(0), NodeId(127), 32 << 20))
+//!     .unwrap();
 //! let report = prog.run();
-//! println!("{decision:?}: {:.2} GB/s", handle.throughput(&report) / 1e9);
+//! println!(
+//!     "{:?}: {:.2} GB/s",
+//!     outcome.decision,
+//!     outcome.handle.throughput(&report) / 1e9
+//! );
 //! ```
 
 pub mod aggregator;
@@ -63,13 +68,17 @@ pub use io_move::{
 };
 pub use model::CostModel;
 pub use multipath::{
-    plan_direct, plan_direct_dynamic, plan_direct_gated, plan_group_direct, plan_group_via,
-    plan_via_proxies, split_chunks, MultipathOptions, TransferHandle,
+    plan_direct, plan_direct_dynamic, plan_group_direct, plan_group_via, plan_via_proxies,
+    split_chunks, MultipathOptions, TransferHandle,
 };
+#[allow(deprecated)] // re-exported until the last out-of-tree caller migrates
+pub use multipath::plan_direct_gated;
 pub use setup::{
     add_coupling_setup, coupling_init_cost, proxy_search_cost_model, COORD_BYTES,
 };
-pub use planner::{Decision, DirectReason, SparseMover};
+pub use planner::{
+    Decision, DirectReason, PlanOutcome, PlanPolicy, PlanRequest, SparseMover,
+};
 pub use proxy::{
     displace_group, find_proxies, find_proxies_avoiding, find_proxies_avoiding_with_stats,
     find_proxy_groups, find_proxy_groups_global, proxy_groups_along, ProxyGroup, ProxyPath,

@@ -52,9 +52,9 @@ pub fn plan_direct(prog: &mut Program<'_>, src: NodeId, dst: NodeId, bytes: u64)
 
 /// Like [`plan_direct`], but honoring `opts.gate`: the put does not start
 /// before the gate token is delivered. With no gate this is exactly
-/// [`plan_direct`]. The retry loop uses this to resume a direct transfer
-/// after a simulated backoff without perturbing the ungated baseline.
-pub fn plan_direct_gated(
+/// [`plan_direct`]. This is the direct-plan primitive behind the unified
+/// planner entry point (`SparseMover::plan`).
+pub(crate) fn direct_gated(
     prog: &mut Program<'_>,
     src: NodeId,
     dst: NodeId,
@@ -67,6 +67,21 @@ pub fn plan_direct_gated(
         tokens: vec![t],
         bytes,
     }
+}
+
+/// Like [`plan_direct`], but honoring `opts.gate`.
+#[deprecated(
+    note = "use `SparseMover::plan` with `PlanPolicy::DirectOnly` (the gate comes from \
+            `MultipathOptions::gate` via `SparseMover::with_multipath`)"
+)]
+pub fn plan_direct_gated(
+    prog: &mut Program<'_>,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    opts: &MultipathOptions,
+) -> TransferHandle {
+    direct_gated(prog, src, dst, bytes, opts)
 }
 
 /// Plan a direct transfer under *dynamic* routing (zones 0/1): the
@@ -481,6 +496,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated wrapper's behavior
     fn gated_direct_without_gate_matches_plain_direct() {
         let m = machine128();
         let bytes = 8u64 << 20;
@@ -499,6 +515,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated wrapper's behavior
     fn gated_direct_waits_for_the_gate() {
         let m = machine128();
         let mut p = Program::new(&m);

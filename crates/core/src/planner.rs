@@ -10,8 +10,8 @@ use crate::error::SdmError;
 use crate::io_move::{plan_topology_aware_write, IoMoveOptions, IoMovePlan};
 use crate::model::CostModel;
 use crate::multipath::{
-    plan_direct, plan_direct_gated, plan_group_direct, plan_group_via, plan_via_proxies,
-    MultipathOptions, TransferHandle,
+    direct_gated, plan_group_direct, plan_group_via, plan_via_proxies, MultipathOptions,
+    TransferHandle,
 };
 use crate::proxy::{
     find_proxies_avoiding_with_stats, find_proxy_groups, ProxySearchConfig, SearchStats,
@@ -38,6 +38,89 @@ pub enum DirectReason {
     BelowThreshold,
     /// Fewer than the minimum useful proxies (3) could be placed.
     NoDisjointPaths,
+    /// The caller asked for a direct plan ([`PlanPolicy::DirectOnly`]);
+    /// the cost model was never consulted.
+    Requested,
+}
+
+/// How [`SparseMover::plan`] is allowed to route a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanPolicy {
+    /// The paper's decision procedure (§IV.B): direct below the
+    /// proxy-benefit threshold, multipath above it, multipath *forced*
+    /// when a supplied health mask kills the deterministic direct route.
+    #[default]
+    Auto,
+    /// Always a single direct path, skipping the proxy search and the
+    /// cost model. The plan still honors `MultipathOptions::gate`, which
+    /// is how a stubborn-direct retry loop chains attempts.
+    DirectOnly,
+}
+
+/// One point-to-point planning request for [`SparseMover::plan`] — the
+/// single entry point that replaced `plan_transfer`,
+/// `try_plan_transfer_resilient` and `plan_direct_gated`.
+///
+/// Build one with [`PlanRequest::new`] and refine it with the builder
+/// methods:
+///
+/// ```ignore
+/// let req = PlanRequest::new(src, dst, bytes)
+///     .health(&mask)                    // route around known faults
+///     .policy(PlanPolicy::DirectOnly);  // or force a direct plan
+/// let outcome = mover.plan(&mut prog, req)?;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'h> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Network health the plan must route around. `None` plans on an
+    /// assumed-healthy network and can never fail with
+    /// [`SdmError::EndpointDown`].
+    pub health: Option<&'h HealthMask>,
+    /// Routing policy; defaults to [`PlanPolicy::Auto`].
+    pub policy: PlanPolicy,
+}
+
+impl<'h> PlanRequest<'h> {
+    /// A healthy-network, auto-policy request.
+    pub fn new(src: NodeId, dst: NodeId, bytes: u64) -> PlanRequest<'h> {
+        PlanRequest {
+            src,
+            dst,
+            bytes,
+            health: None,
+            policy: PlanPolicy::Auto,
+        }
+    }
+
+    /// Plan under a network health mask: proxies avoid dead links and
+    /// down nodes, a dead direct route forces multipath, and a down
+    /// endpoint is an error.
+    pub fn health(mut self, health: &'h HealthMask) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Override the routing policy.
+    pub fn policy(mut self, policy: PlanPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// What [`SparseMover::plan`] produced: the executable plan plus the
+/// decision that shaped it.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// Handle over the planned transfer's tokens.
+    pub handle: TransferHandle,
+    /// The routing decision that was made.
+    pub decision: Decision,
 }
 
 /// The sparse data movement planner for one machine.
@@ -156,10 +239,124 @@ impl<'m> SparseMover<'m> {
         self.aggregators.clone()
     }
 
-    /// Plan a point-to-point transfer, choosing direct vs. multipath by the
-    /// cost model and proxy availability (the paper's decision procedure in
-    /// §IV.B: "Calculate the message sizes to see if using intermediate
-    /// nodes benefits performance").
+    /// Plan a point-to-point transfer — the single planning entry point.
+    ///
+    /// Under [`PlanPolicy::Auto`] this is the paper's decision procedure
+    /// (§IV.B: "Calculate the message sizes to see if using intermediate
+    /// nodes benefits performance"): direct below the proxy-benefit
+    /// threshold, multipath above it. When the request carries a
+    /// [`HealthMask`], proxies route around dead links and down nodes,
+    /// and a dead link on the deterministic direct route *forces*
+    /// multipath (with the minimum-useful-proxies rule relaxed to 1 —
+    /// any surviving detour beats a route that delivers nothing),
+    /// overriding the cost model's below-threshold verdict.
+    ///
+    /// Direct plans honor `MultipathOptions::gate`, so retry loops can
+    /// chain attempts regardless of policy.
+    ///
+    /// # Errors
+    /// [`SdmError::EndpointDown`] when the request has a health mask and
+    /// `src` or `dst` itself is down — no plan can help then; the caller
+    /// should back off and re-query the mask later. Without a health
+    /// mask, planning is infallible.
+    pub fn plan(
+        &self,
+        prog: &mut Program<'_>,
+        req: PlanRequest<'_>,
+    ) -> Result<PlanOutcome, SdmError> {
+        let PlanRequest {
+            src,
+            dst,
+            bytes,
+            health,
+            policy,
+        } = req;
+        if let Some(h) = health {
+            if h.down_nodes.contains(&src) {
+                self.count("planner.endpoint_down");
+                return Err(SdmError::EndpointDown(src));
+            }
+            if h.down_nodes.contains(&dst) {
+                self.count("planner.endpoint_down");
+                return Err(SdmError::EndpointDown(dst));
+            }
+        }
+        if policy == PlanPolicy::DirectOnly {
+            self.count("planner.direct_requested");
+            return Ok(PlanOutcome {
+                handle: direct_gated(prog, src, dst, bytes, &self.multipath),
+                decision: Decision::Direct(DirectReason::Requested),
+            });
+        }
+        let shape = self.machine.shape();
+        let zone = self.machine.zone();
+        let direct_dead = match health {
+            Some(h) => bgq_torus::route(shape, src, dst, zone)
+                .links
+                .iter()
+                .any(|l| h.dead_links.contains(l)),
+            None => false,
+        };
+        if direct_dead {
+            self.count("planner.direct_route_dead");
+        }
+        let forced_search;
+        let search = if direct_dead {
+            forced_search = ProxySearchConfig {
+                min_proxies: 1,
+                ..self.search.clone()
+            };
+            &forced_search
+        } else {
+            &self.search
+        };
+        let healthy;
+        let mask = match health {
+            Some(h) => h,
+            None => {
+                healthy = HealthMask::healthy();
+                &healthy
+            }
+        };
+        let (sel, stats) = find_proxies_avoiding_with_stats(
+            shape,
+            zone,
+            src,
+            dst,
+            &HashSet::new(),
+            search,
+            mask,
+        );
+        self.record_search(&stats);
+        if sel.is_empty() {
+            self.count("planner.direct_no_disjoint");
+            return Ok(PlanOutcome {
+                handle: direct_gated(prog, src, dst, bytes, &self.multipath),
+                decision: Decision::Direct(DirectReason::NoDisjointPaths),
+            });
+        }
+        let k = sel.len() as u32;
+        if !direct_dead && !self.model.should_use_proxies(bytes, k) {
+            self.count("planner.direct_below_threshold");
+            return Ok(PlanOutcome {
+                handle: direct_gated(prog, src, dst, bytes, &self.multipath),
+                decision: Decision::Direct(DirectReason::BelowThreshold),
+            });
+        }
+        if direct_dead {
+            self.count("planner.multipath_forced");
+        }
+        self.count("planner.multipath_chosen");
+        let handle = plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
+        Ok(PlanOutcome {
+            handle,
+            decision: Decision::Multipath { paths: k },
+        })
+    }
+
+    /// Plan a point-to-point transfer, choosing direct vs. multipath by
+    /// the cost model and proxy availability.
+    #[deprecated(note = "use `SparseMover::plan` with a `PlanRequest`")]
     pub fn plan_transfer(
         &self,
         prog: &mut Program<'_>,
@@ -167,50 +364,14 @@ impl<'m> SparseMover<'m> {
         dst: NodeId,
         bytes: u64,
     ) -> (TransferHandle, Decision) {
-        let (sel, stats) = find_proxies_avoiding_with_stats(
-            self.machine.shape(),
-            self.machine.zone(),
-            src,
-            dst,
-            &HashSet::new(),
-            &self.search,
-            &HealthMask::healthy(),
-        );
-        self.record_search(&stats);
-        if sel.is_empty() {
-            self.count("planner.direct_no_disjoint");
-            return (
-                plan_direct(prog, src, dst, bytes),
-                Decision::Direct(DirectReason::NoDisjointPaths),
-            );
-        }
-        let k = sel.len() as u32;
-        if !self.model.should_use_proxies(bytes, k) {
-            self.count("planner.direct_below_threshold");
-            return (
-                plan_direct(prog, src, dst, bytes),
-                Decision::Direct(DirectReason::BelowThreshold),
-            );
-        }
-        self.count("planner.multipath_chosen");
-        let handle =
-            plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
-        (handle, Decision::Multipath { paths: k })
+        let out = self
+            .plan(prog, PlanRequest::new(src, dst, bytes))
+            .expect("planning without a health mask is infallible");
+        (out.handle, out.decision)
     }
 
-    /// Plan a point-to-point transfer under a network [`HealthMask`]:
-    /// proxies route around dead links and down nodes, and a dead link on
-    /// the deterministic direct route *forces* multipath (with the
-    /// minimum-useful-proxies rule relaxed to 1 — any surviving detour
-    /// beats a route that delivers nothing), overriding the cost model's
-    /// below-threshold verdict. With a healthy mask this decides exactly
-    /// like [`SparseMover::plan_transfer`], except that the direct
-    /// fallback honors `MultipathOptions::gate` so retry loops can chain
-    /// attempts.
-    ///
-    /// Errors with [`SdmError::EndpointDown`] when `src` or `dst` itself
-    /// is down — no plan can help then; the caller should back off and
-    /// re-query the mask later.
+    /// Plan a point-to-point transfer under a network [`HealthMask`].
+    #[deprecated(note = "use `SparseMover::plan` with `PlanRequest::health`")]
     pub fn try_plan_transfer_resilient(
         &self,
         prog: &mut Program<'_>,
@@ -219,62 +380,8 @@ impl<'m> SparseMover<'m> {
         bytes: u64,
         health: &HealthMask,
     ) -> Result<(TransferHandle, Decision), SdmError> {
-        if health.down_nodes.contains(&src) {
-            self.count("planner.endpoint_down");
-            return Err(SdmError::EndpointDown(src));
-        }
-        if health.down_nodes.contains(&dst) {
-            self.count("planner.endpoint_down");
-            return Err(SdmError::EndpointDown(dst));
-        }
-        let shape = self.machine.shape();
-        let zone = self.machine.zone();
-        let direct_dead = bgq_torus::route(shape, src, dst, zone)
-            .links
-            .iter()
-            .any(|l| health.dead_links.contains(l));
-        if direct_dead {
-            self.count("planner.direct_route_dead");
-        }
-        let search = if direct_dead {
-            ProxySearchConfig {
-                min_proxies: 1,
-                ..self.search.clone()
-            }
-        } else {
-            self.search.clone()
-        };
-        let (sel, stats) = find_proxies_avoiding_with_stats(
-            shape,
-            zone,
-            src,
-            dst,
-            &HashSet::new(),
-            &search,
-            health,
-        );
-        self.record_search(&stats);
-        if sel.is_empty() {
-            self.count("planner.direct_no_disjoint");
-            return Ok((
-                plan_direct_gated(prog, src, dst, bytes, &self.multipath),
-                Decision::Direct(DirectReason::NoDisjointPaths),
-            ));
-        }
-        let k = sel.len() as u32;
-        if !direct_dead && !self.model.should_use_proxies(bytes, k) {
-            self.count("planner.direct_below_threshold");
-            return Ok((
-                plan_direct_gated(prog, src, dst, bytes, &self.multipath),
-                Decision::Direct(DirectReason::BelowThreshold),
-            ));
-        }
-        if direct_dead {
-            self.count("planner.multipath_forced");
-        }
-        self.count("planner.multipath_chosen");
-        let handle = plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
-        Ok((handle, Decision::Multipath { paths: k }))
+        self.plan(prog, PlanRequest::new(src, dst, bytes).health(health))
+            .map(|out| (out.handle, out.decision))
     }
 
     /// Plan a group-to-group coupling (`sources[i] → dests[i]`, `bytes`
@@ -372,6 +479,7 @@ impl<'m> SparseMover<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multipath::plan_direct;
     use bgq_netsim::SimConfig;
     use bgq_torus::standard_shape;
 
@@ -384,8 +492,10 @@ mod tests {
         let m = machine();
         let mover = SparseMover::new(&m);
         let mut p = Program::new(&m);
-        let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(127), 4096);
-        assert_eq!(d, Decision::Direct(DirectReason::BelowThreshold));
+        let out = mover
+            .plan(&mut p, PlanRequest::new(NodeId(0), NodeId(127), 4096))
+            .unwrap();
+        assert_eq!(out.decision, Decision::Direct(DirectReason::BelowThreshold));
     }
 
     #[test]
@@ -393,7 +503,10 @@ mod tests {
         let m = machine();
         let mover = SparseMover::new(&m);
         let mut p = Program::new(&m);
-        let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(127), 32 << 20);
+        let out = mover
+            .plan(&mut p, PlanRequest::new(NodeId(0), NodeId(127), 32 << 20))
+            .unwrap();
+        let d = out.decision;
         assert!(matches!(d, Decision::Multipath { paths } if paths >= 3), "{d:?}");
     }
 
@@ -406,9 +519,11 @@ mod tests {
         let bytes = 64u64 << 20;
 
         let mut p1 = Program::new(&m);
-        let (h1, d) = mover.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
-        assert!(matches!(d, Decision::Multipath { .. }));
-        let t_chosen = h1.completed_at(&p1.run());
+        let out = mover
+            .plan(&mut p1, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+            .unwrap();
+        assert!(matches!(out.decision, Decision::Multipath { .. }));
+        let t_chosen = out.handle.completed_at(&p1.run());
 
         let mut p2 = Program::new(&m);
         let h2 = plan_direct(&mut p2, NodeId(0), NodeId(127), bytes);
@@ -421,29 +536,113 @@ mod tests {
         let m = bgq_comm::Machine::new(bgq_torus::Shape::new(2, 1, 1, 1, 1), SimConfig::default());
         let mover = SparseMover::new(&m);
         let mut p = Program::new(&m);
-        let (_, d) = mover.plan_transfer(&mut p, NodeId(0), NodeId(1), 128 << 20);
-        assert_eq!(d, Decision::Direct(DirectReason::NoDisjointPaths));
+        let out = mover
+            .plan(&mut p, PlanRequest::new(NodeId(0), NodeId(1), 128 << 20))
+            .unwrap();
+        assert_eq!(out.decision, Decision::Direct(DirectReason::NoDisjointPaths));
     }
 
     #[test]
-    fn resilient_plan_with_healthy_mask_matches_plain_decision() {
+    fn healthy_mask_matches_maskless_decision() {
         let m = machine();
         let mover = SparseMover::new(&m);
+        let healthy = HealthMask::healthy();
         for bytes in [4096u64, 32 << 20] {
             let mut p1 = Program::new(&m);
-            let (_, plain) = mover.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
+            let plain = mover
+                .plan(&mut p1, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+                .unwrap();
             let mut p2 = Program::new(&m);
-            let (_, resilient) = mover
-                .try_plan_transfer_resilient(
+            let resilient = mover
+                .plan(
                     &mut p2,
-                    NodeId(0),
-                    NodeId(127),
-                    bytes,
-                    &HealthMask::healthy(),
+                    PlanRequest::new(NodeId(0), NodeId(127), bytes).health(&healthy),
                 )
                 .unwrap();
-            assert_eq!(plain, resilient, "at {bytes} bytes");
+            assert_eq!(plain.decision, resilient.decision, "at {bytes} bytes");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)] // pins the deprecated wrappers to the unified entry point
+    fn deprecated_wrappers_match_plan() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let first_link = bgq_torus::route(m.shape(), NodeId(0), NodeId(127), m.zone()).links[0];
+        let mut health = HealthMask::healthy();
+        health.dead_links.insert(first_link);
+
+        for bytes in [4096u64, 32 << 20] {
+            let mut p1 = Program::new(&m);
+            let (h1, d1) = mover.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
+            let mut p2 = Program::new(&m);
+            let out = mover
+                .plan(&mut p2, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+                .unwrap();
+            assert_eq!(d1, out.decision, "plan_transfer decision at {bytes}");
+            assert_eq!(h1.tokens, out.handle.tokens, "plan_transfer tokens at {bytes}");
+
+            let mut p3 = Program::new(&m);
+            let (h3, d3) = mover
+                .try_plan_transfer_resilient(&mut p3, NodeId(0), NodeId(127), bytes, &health)
+                .unwrap();
+            let mut p4 = Program::new(&m);
+            let out = mover
+                .plan(
+                    &mut p4,
+                    PlanRequest::new(NodeId(0), NodeId(127), bytes).health(&health),
+                )
+                .unwrap();
+            assert_eq!(d3, out.decision, "resilient decision at {bytes}");
+            assert_eq!(h3.tokens, out.handle.tokens, "resilient tokens at {bytes}");
+        }
+    }
+
+    #[test]
+    fn direct_only_policy_skips_the_cost_model() {
+        let m = machine();
+        let reg = Arc::new(MetricsRegistry::new());
+        let mover = SparseMover::new(&m).with_metrics(Arc::clone(&reg));
+        // 32 MiB would normally go multipath; DirectOnly must not.
+        let mut p = Program::new(&m);
+        let out = mover
+            .plan(
+                &mut p,
+                PlanRequest::new(NodeId(0), NodeId(127), 32 << 20)
+                    .policy(PlanPolicy::DirectOnly),
+            )
+            .unwrap();
+        assert_eq!(out.decision, Decision::Direct(DirectReason::Requested));
+        assert_eq!(out.handle.tokens.len(), 1, "one direct put");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("planner.direct_requested"), Some(1));
+        assert_eq!(snap.counter("planner.multipath_chosen"), None);
+    }
+
+    #[test]
+    fn direct_only_policy_honors_the_gate() {
+        let m = machine();
+        let mut p = Program::new(&m);
+        // Gate: a zero-byte self-put that becomes available at t = 1 s.
+        let gate = p.add_spec(
+            bgq_netsim::TransferSpec::new(0, 0, 0, Vec::new()).not_before(1.0),
+        );
+        let mover = SparseMover::new(&m).with_multipath(MultipathOptions {
+            gate: Some(gate),
+            ..Default::default()
+        });
+        let out = mover
+            .plan(
+                &mut p,
+                PlanRequest::new(NodeId(0), NodeId(127), 4 << 10)
+                    .policy(PlanPolicy::DirectOnly),
+            )
+            .unwrap();
+        let rep = p.run();
+        assert!(
+            out.handle.completed_at(&rep) > 1.0,
+            "transfer must not finish before the gate opens"
+        );
     }
 
     #[test]
@@ -456,9 +655,13 @@ mod tests {
         // 4 KiB is deep below the threshold, yet direct would deliver
         // nothing — the planner must detour.
         let mut p = Program::new(&m);
-        let (_, d) = mover
-            .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 4096, &health)
+        let out = mover
+            .plan(
+                &mut p,
+                PlanRequest::new(NodeId(0), NodeId(127), 4096).health(&health),
+            )
             .unwrap();
+        let d = out.decision;
         assert!(matches!(d, Decision::Multipath { .. }), "{d:?}");
     }
 
@@ -480,13 +683,16 @@ mod tests {
         assert!(hd.completed_at(&rd).is_infinite());
 
         let mut pm = Program::new(&m);
-        let (hm, d) = mover
-            .try_plan_transfer_resilient(&mut pm, NodeId(0), NodeId(127), bytes, &health)
+        let out = mover
+            .plan(
+                &mut pm,
+                PlanRequest::new(NodeId(0), NodeId(127), bytes).health(&health),
+            )
             .unwrap();
-        assert!(matches!(d, Decision::Multipath { .. }));
+        assert!(matches!(out.decision, Decision::Multipath { .. }));
         let rm = pm.run_with_faults(&plan);
         assert!(rm.all_delivered(), "health-aware multipath must complete");
-        assert!(hm.completed_at(&rm).is_finite());
+        assert!(out.handle.completed_at(&rm).is_finite());
     }
 
     #[test]
@@ -497,7 +703,10 @@ mod tests {
         health.down_nodes.insert(NodeId(127));
         let mut p = Program::new(&m);
         let err = mover
-            .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 1 << 20, &health)
+            .plan(
+                &mut p,
+                PlanRequest::new(NodeId(0), NodeId(127), 1 << 20).health(&health),
+            )
             .unwrap_err();
         assert_eq!(err, SdmError::EndpointDown(NodeId(127)));
     }
@@ -511,9 +720,15 @@ mod tests {
 
         for bytes in [4096u64, 32 << 20] {
             let mut p1 = Program::new(&m);
-            let (_, d1) = plain.plan_transfer(&mut p1, NodeId(0), NodeId(127), bytes);
+            let d1 = plain
+                .plan(&mut p1, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+                .unwrap()
+                .decision;
             let mut p2 = Program::new(&m);
-            let (_, d2) = observed.plan_transfer(&mut p2, NodeId(0), NodeId(127), bytes);
+            let d2 = observed
+                .plan(&mut p2, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+                .unwrap()
+                .decision;
             assert_eq!(d1, d2, "metrics must not alter the decision at {bytes}");
         }
         // Forced-multipath path under a dead direct route.
@@ -522,7 +737,10 @@ mod tests {
         health.dead_links.insert(first_link);
         let mut p = Program::new(&m);
         observed
-            .try_plan_transfer_resilient(&mut p, NodeId(0), NodeId(127), 4096, &health)
+            .plan(
+                &mut p,
+                PlanRequest::new(NodeId(0), NodeId(127), 4096).health(&health),
+            )
             .unwrap();
 
         let snap = reg.snapshot();

@@ -14,18 +14,94 @@
 //!   dependent transfers may start.
 //!
 //! The engine is fully deterministic: identical inputs produce identical
-//! event orderings and timings.
+//! event orderings and timings. The run surface is one method,
+//! [`Simulator::simulate`], taking [`SimOptions`] (optional fault plan,
+//! optional observer, solver mode); rate recomputation is incremental by
+//! default ([`SolverMode::Incremental`]) and bit-identical to a full
+//! re-level at every event — see the [`leveling`](self) submodule.
+
+mod faults;
+mod flow_state;
+mod leveling;
+mod queue;
 
 use crate::config::SimConfig;
-use crate::fault::{FaultKind, FaultPlan};
-use crate::graph::{TransferGraph, TransferId, TransferSpec};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::graph::{TransferGraph, TransferId};
 use crate::obs::{HeatmapSample, SimObserver};
-use crate::waterfill::{FlowDemand, Waterfill};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use faults::FaultState;
+use flow_state::FlowSet;
+use leveling::Leveler;
+use queue::{Event, EventQueue};
 
 /// Bytes below which a flow is considered complete (absorbs float error).
 const BYTE_EPS: f64 = 1e-3;
+
+/// Default dirty-closure fraction above which an incremental re-level
+/// falls back to a full solve.
+pub const DEFAULT_FULL_FRACTION: f64 = 0.5;
+
+/// How the engine re-levels fair-share rates at each epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverMode {
+    /// Re-solve the waterfill over every active flow at every epoch
+    /// (the classical engine; kept as the oracle for the incremental
+    /// path).
+    Full,
+    /// Re-solve only the transitive closure of flows/links whose
+    /// saturation set changed, falling back to a full solve when the
+    /// closure exceeds `full_fraction` of the active set. Produces
+    /// bit-identical reports to [`SolverMode::Full`] at any fraction.
+    Incremental { full_fraction: f64 },
+}
+
+impl Default for SolverMode {
+    fn default() -> SolverMode {
+        SolverMode::Incremental {
+            full_fraction: DEFAULT_FULL_FRACTION,
+        }
+    }
+}
+
+/// Options for one [`Simulator::simulate`] run: an optional fault
+/// schedule, an optional passive observer, and the solver mode.
+///
+/// The default is a fault-free, unobserved run with the incremental
+/// solver — exactly what the old `run` method did (modulo solver mode,
+/// which never changes results).
+#[derive(Debug, Default)]
+pub struct SimOptions<'a> {
+    /// Fault schedule; `None` (or an empty plan) runs fault-free.
+    pub faults: Option<&'a FaultPlan>,
+    /// Passive observer; never influences the event sequence.
+    pub observer: Option<&'a mut SimObserver>,
+    /// Rate re-leveling strategy.
+    pub solver: SolverMode,
+}
+
+impl<'a> SimOptions<'a> {
+    pub fn new() -> SimOptions<'a> {
+        SimOptions::default()
+    }
+
+    /// Attach a fault schedule.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> SimOptions<'a> {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attach a passive observer.
+    pub fn observer(mut self, obs: &'a mut SimObserver) -> SimOptions<'a> {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Select the solver mode.
+    pub fn solver(mut self, mode: SolverMode) -> SimOptions<'a> {
+        self.solver = mode;
+        self
+    }
+}
 
 /// Final state of one transfer in a [`SimReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +125,11 @@ pub struct SimReport {
     /// Time each transfer's flow started moving bytes (injection
     /// complete); `f64::INFINITY` for transfers that never started.
     pub flow_start_time: Vec<f64>,
+    /// Cumulative time each transfer spent stalled by faults (frozen
+    /// mid-flight or born onto a blocked route). Flows still stalled
+    /// when the event queue drained accrue up to `end_time`. All zeros
+    /// in a fault-free run.
+    pub stall_time: Vec<f64>,
     /// Final status of each transfer. Without faults every entry is
     /// [`TransferStatus::Delivered`].
     pub status: Vec<TransferStatus>,
@@ -68,11 +149,24 @@ pub struct SimReport {
 impl SimReport {
     /// Aggregate throughput: total bytes over the makespan. Zero when any
     /// transfer never delivered (infinite makespan) — undelivered data
-    /// must not be averaged into a finite rate.
+    /// must not be averaged into a finite rate; a warning with the
+    /// undelivered count and their cumulative stall time goes to stderr
+    /// so the zero is never silent.
     pub fn aggregate_throughput(&self) -> f64 {
         if self.makespan > 0.0 && self.makespan.is_finite() {
             self.total_bytes as f64 / self.makespan
         } else {
+            if self.makespan.is_infinite() {
+                let undelivered = self.status.len() - self.num_delivered();
+                eprintln!(
+                    "warning: aggregate_throughput is 0 — {undelivered} of {} \
+                     transfers undelivered after {:.3}s cumulative stall \
+                     (end_time {:.3}s)",
+                    self.status.len(),
+                    self.total_stall_time(),
+                    self.end_time,
+                );
+            }
             0.0
         }
     }
@@ -100,6 +194,16 @@ impl SimReport {
         self.delivery_time[id.index()]
     }
 
+    /// Cumulative stall time of one transfer.
+    pub fn stall_time_of(&self, id: TransferId) -> f64 {
+        self.stall_time[id.index()]
+    }
+
+    /// Total stall time across all transfers.
+    pub fn total_stall_time(&self) -> f64 {
+        self.stall_time.iter().sum()
+    }
+
     /// Latest delivery among a set of transfers (e.g. one logical message
     /// split over several paths).
     pub fn last_delivery(&self, ids: &[TransferId]) -> f64 {
@@ -116,52 +220,6 @@ pub struct Simulator {
     capacities: Vec<f64>,
     num_nodes: u32,
     config: SimConfig,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Event {
-    /// Dependencies satisfied: enter the source node's injection queue.
-    Ready(u32),
-    /// Sender CPU finished injecting: the flow goes live.
-    InjectionDone(u32),
-    /// Possible flow completion; valid only for the tagged rate epoch.
-    FlowCheck { epoch: u64 },
-    /// Transfer delivered at the destination.
-    Delivered(u32),
-    /// Scheduled fault (index into the run's `FaultPlan`).
-    Fault(u32),
-}
-
-/// Time ordering key: total order on f64 plus a sequence number so
-/// simultaneous events process in creation order (determinism).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    time: f64,
-    seq: u64,
-    event: Event,
-}
-
-impl Eq for Entry {}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
-#[derive(Debug)]
-struct ActiveFlow {
-    tid: u32,
-    remaining: f64,
-    rate: f64,
 }
 
 impl Simulator {
@@ -188,58 +246,63 @@ impl Simulator {
     }
 
     /// Execute `graph` and return per-transfer timings.
-    ///
-    /// # Panics
-    /// Panics if a transfer references a node `>= num_nodes` or a resource
-    /// outside the capacity table.
+    #[deprecated(note = "use `Simulator::simulate` with `SimOptions`")]
     pub fn run(&self, graph: &TransferGraph) -> SimReport {
-        self.run_with_faults(graph, &FaultPlan::default())
+        self.simulate(graph, SimOptions::new())
     }
 
     /// Execute `graph` under a fault schedule.
-    ///
-    /// An empty plan is exactly [`run`](Simulator::run): no fault state is
-    /// allocated and the event sequence (and every float operation) is
-    /// identical. With faults, each event applies at its timestamp — link
-    /// capacities change and the waterfill re-runs at the fault epoch;
-    /// flows whose route crosses a dead link or whose endpoint node is
-    /// down stall (moving no bytes, consuming no bandwidth) until the
-    /// fault heals. Transfers still undelivered when the event queue
-    /// drains report `f64::INFINITY` times and a
-    /// [`TransferStatus::Stalled`]/[`TransferStatus::NotStarted`] status
-    /// instead of panicking.
-    ///
-    /// # Panics
-    /// Panics if the graph or the plan references a node or resource
-    /// outside the network.
+    #[deprecated(note = "use `Simulator::simulate` with `SimOptions`")]
     pub fn run_with_faults(&self, graph: &TransferGraph, faults: &FaultPlan) -> SimReport {
-        self.run_inner(graph, faults, None)
+        self.simulate(graph, SimOptions::new().faults(faults))
     }
 
-    /// [`run_with_faults`](Simulator::run_with_faults) with passive
-    /// observation: engine events (waterfill re-runs, fault applications,
-    /// stall/resume transitions, undelivered transfers) and a per-epoch
-    /// [`crate::LinkHeatmap`] accumulate into `obs`. The returned report
-    /// is bit-identical to an unobserved run on the same inputs — the
-    /// observer is write-only and never influences the event sequence.
+    /// Execute `graph` under a fault schedule with passive observation.
+    #[deprecated(note = "use `Simulator::simulate` with `SimOptions`")]
     pub fn run_observed(
         &self,
         graph: &TransferGraph,
         faults: &FaultPlan,
         obs: &mut SimObserver,
     ) -> SimReport {
-        self.run_inner(graph, faults, Some(obs))
+        self.simulate(graph, SimOptions::new().faults(faults).observer(obs))
     }
 
-    fn run_inner(
-        &self,
-        graph: &TransferGraph,
-        faults: &FaultPlan,
-        mut obs: Option<&mut SimObserver>,
-    ) -> SimReport {
+    /// Execute `graph` under `opts` and return per-transfer timings.
+    ///
+    /// An absent (or empty) fault plan runs fault-free: no fault state is
+    /// allocated and the event sequence (and every float operation) is
+    /// identical to the pre-fault engine. With faults, each event applies
+    /// at its timestamp — link capacities change and rates re-level at
+    /// the fault epoch; flows whose route crosses a dead link or whose
+    /// endpoint node is down stall (moving no bytes, consuming no
+    /// bandwidth) until the fault heals. Transfers still undelivered when
+    /// the event queue drains report `f64::INFINITY` times and a
+    /// [`TransferStatus::Stalled`] / [`TransferStatus::NotStarted`]
+    /// status instead of panicking.
+    ///
+    /// An attached [`SimObserver`] is strictly passive: engine events
+    /// (re-levels, fault applications, stall/resume transitions,
+    /// undelivered transfers) and a per-epoch [`crate::LinkHeatmap`]
+    /// accumulate into it, and the returned report is bit-identical to
+    /// an unobserved run on the same inputs.
+    ///
+    /// The [`SolverMode`] never changes results — only how much work each
+    /// rate re-level performs (see [`SolverMode::Incremental`]).
+    ///
+    /// # Panics
+    /// Panics if the graph or the plan references a node or resource
+    /// outside the network.
+    pub fn simulate(&self, graph: &TransferGraph, opts: SimOptions<'_>) -> SimReport {
+        let SimOptions {
+            faults,
+            observer: mut obs,
+            solver,
+        } = opts;
         let n = graph.len();
         let specs = graph.specs();
-        let have_faults = !faults.is_empty();
+        let fault_events: &[FaultEvent] = faults.map(|p| p.events()).unwrap_or(&[]);
+        let have_faults = !fault_events.is_empty();
 
         // Dependency bookkeeping.
         let mut remaining_deps: Vec<u32> = specs.iter().map(|s| s.deps.len() as u32).collect();
@@ -253,7 +316,7 @@ impl Simulator {
                 children[d.index()].push(i as u32);
             }
         }
-        for ev in faults.events() {
+        for ev in fault_events {
             match ev.kind {
                 FaultKind::LinkFactor { resource, .. } => assert!(
                     (resource.0 as usize) < self.capacities.len(),
@@ -266,24 +329,12 @@ impl Simulator {
             }
         }
 
-        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let push = |heap: &mut BinaryHeap<Reverse<Entry>>, seq: &mut u64, time: f64, event: Event| {
-            debug_assert!(time.is_finite() && time >= 0.0);
-            *seq += 1;
-            heap.push(Reverse(Entry {
-                time,
-                seq: *seq,
-                event,
-            }));
-        };
+        let mut q = EventQueue::new();
 
         // Fault schedule first: at equal timestamps a fault applies before
         // any flow event (lower sequence numbers win ties).
-        if have_faults {
-            for (i, ev) in faults.events().iter().enumerate() {
-                push(&mut heap, &mut seq, ev.time, Event::Fault(i as u32));
-            }
+        for (i, ev) in fault_events.iter().enumerate() {
+            q.push(ev.time, Event::Fault(i as u32));
         }
 
         // Seed: transfers with no dependencies become ready at start_at +
@@ -291,37 +342,22 @@ impl Simulator {
         for (i, s) in specs.iter().enumerate() {
             if s.deps.is_empty() {
                 let t = s.start_at.max(s.extra_delay);
-                push(&mut heap, &mut seq, t, Event::Ready(i as u32));
+                q.push(t, Event::Ready(i as u32));
             }
         }
 
         // Fault state, allocated only when a plan is present.
-        let mut eff_caps: Vec<f64> = Vec::new();
-        let mut dead: Vec<bool> = Vec::new();
-        let mut node_down: Vec<bool> = Vec::new();
-        // Injections that arrived while their source node was down.
-        let mut parked: Vec<Vec<u32>> = Vec::new();
-        // Flows frozen by a dead link / down endpoint on their route.
-        let mut stalled: Vec<ActiveFlow> = Vec::new();
-        if have_faults {
-            eff_caps = self.capacities.clone();
-            dead = vec![false; self.capacities.len()];
-            node_down = vec![false; self.num_nodes as usize];
-            parked = vec![Vec::new(); self.num_nodes as usize];
-        }
-        let is_blocked = |dead: &[bool], node_down: &[bool], spec: &TransferSpec| {
-            spec.route.iter().any(|r| dead[r.0 as usize])
-                || node_down[spec.src as usize]
-                || node_down[spec.dst as usize]
-        };
+        let mut fstate: Option<FaultState> =
+            have_faults.then(|| FaultState::new(&self.capacities, self.num_nodes));
 
         // Per-node injection CPU.
-        let mut cpu_queue: Vec<VecDeque<u32>> = vec![VecDeque::new(); self.num_nodes as usize];
+        let mut cpu_queue: Vec<std::collections::VecDeque<u32>> =
+            vec![std::collections::VecDeque::new(); self.num_nodes as usize];
         let mut cpu_busy: Vec<bool> = vec![false; self.num_nodes as usize];
 
-        // Active flows and fair-share machinery.
-        let mut active: Vec<ActiveFlow> = Vec::new();
-        let mut waterfill = Waterfill::new(self.capacities.len());
+        // Active/stalled flows and fair-share machinery.
+        let mut flows = FlowSet::new(n);
+        let mut leveler = Leveler::new(self.capacities.len(), n, solver);
         let mut rates_scratch: Vec<f64> = Vec::new();
         let mut rates_dirty = false;
         let mut epoch: u64 = 0;
@@ -337,13 +373,16 @@ impl Simulator {
 
         let mut now = 0.0f64;
 
-        while let Some(Reverse(entry)) = heap.pop() {
+        while let Some(entry) = q.pop() {
+            if let Some(o) = obs.as_deref_mut() {
+                o.events_processed += 1;
+            }
             // Advance the fluid state to the event time.
             let dt = entry.time - now;
             debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
             if dt > 0.0 {
                 debug_assert!(!rates_dirty, "advancing with stale rates");
-                for f in &mut active {
+                for f in &mut flows.active {
                     let moved = f.rate * dt;
                     f.remaining -= moved;
                     if let Some(rb) = resource_bytes.as_mut() {
@@ -358,19 +397,14 @@ impl Simulator {
             match entry.event {
                 Event::Ready(tid) => {
                     let node = specs[tid as usize].src as usize;
-                    if have_faults && node_down[node] {
+                    if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
                         // Source is down: park until the node recovers.
-                        parked[node].push(tid);
+                        fstate.as_mut().unwrap().parked[node].push(tid);
                     } else if cpu_busy[node] {
                         cpu_queue[node].push_back(tid);
                     } else {
                         cpu_busy[node] = true;
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            now + self.config.send_overhead,
-                            Event::InjectionDone(tid),
-                        );
+                        q.push(now + self.config.send_overhead, Event::InjectionDone(tid));
                     }
                 }
                 Event::InjectionDone(tid) => {
@@ -379,15 +413,10 @@ impl Simulator {
                     // Start the next queued injection on this node (a node
                     // that went down mid-injection resumes its queue on
                     // recovery instead).
-                    if have_faults && node_down[node] {
+                    if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
                         cpu_busy[node] = false;
                     } else if let Some(next) = cpu_queue[node].pop_front() {
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            now + self.config.send_overhead,
-                            Event::InjectionDone(next),
-                        );
+                        q.push(now + self.config.send_overhead, Event::InjectionDone(next));
                     } else {
                         cpu_busy[node] = false;
                     }
@@ -396,23 +425,16 @@ impl Simulator {
                         // Pure synchronization edge: deliver after latency.
                         let lat = spec.route.len() as f64 * self.config.hop_latency
                             + self.config.recv_overhead;
-                        push(&mut heap, &mut seq, now + lat, Event::Delivered(tid));
-                    } else if have_faults && is_blocked(&dead, &node_down, spec) {
+                        q.push(now + lat, Event::Delivered(tid));
+                    } else if fstate.as_ref().is_some_and(|fs| fs.is_blocked(spec)) {
                         // Born stalled: wait for the fault to heal.
                         if let Some(o) = obs.as_deref_mut() {
                             o.stalls.push((now, tid));
                         }
-                        stalled.push(ActiveFlow {
-                            tid,
-                            remaining: spec.bytes as f64,
-                            rate: 0.0,
-                        });
+                        flows.stall_new(tid, spec.bytes as f64, now);
                     } else {
-                        active.push(ActiveFlow {
-                            tid,
-                            remaining: spec.bytes as f64,
-                            rate: 0.0,
-                        });
+                        flows.activate(tid, spec.bytes as f64);
+                        leveler.note_join(tid, &spec.route);
                         rates_dirty = true;
                     }
                 }
@@ -424,27 +446,29 @@ impl Simulator {
                         // Complete every flow that has drained.
                         let mut completed_any = false;
                         let mut i = 0;
-                        while i < active.len() {
-                            if active[i].remaining <= BYTE_EPS {
-                                let f = active.swap_remove(i);
+                        while i < flows.active.len() {
+                            if flows.active[i].remaining <= BYTE_EPS {
+                                let f = flows.complete_at(i);
                                 let spec = &specs[f.tid as usize];
+                                leveler.note_leave(f.tid, &spec.route);
                                 let lat = spec.route.len() as f64 * self.config.hop_latency
                                     + self.config.recv_overhead;
-                                push(&mut heap, &mut seq, now + lat, Event::Delivered(f.tid));
+                                q.push(now + lat, Event::Delivered(f.tid));
                                 rates_dirty = true;
                                 completed_any = true;
                             } else {
                                 i += 1;
                             }
                         }
-                        if !completed_any && !active.is_empty() {
+                        if !completed_any && !flows.active.is_empty() {
                             // Float noise left the nearest flow fractionally
                             // short; re-arm the check at its true ETA.
-                            let next_done = active
+                            let next_done = flows
+                                .active
                                 .iter()
                                 .map(|f| now + f.remaining.max(0.0) / f.rate)
                                 .fold(f64::INFINITY, f64::min);
-                            push(&mut heap, &mut seq, next_done, Event::FlowCheck { epoch });
+                            q.push(next_done, Event::FlowCheck { epoch });
                         }
                     }
                 }
@@ -456,38 +480,32 @@ impl Simulator {
                         if remaining_deps[child as usize] == 0 {
                             let cs = &specs[child as usize];
                             let t = (now + cs.extra_delay).max(cs.start_at);
-                            push(&mut heap, &mut seq, t, Event::Ready(child));
+                            q.push(t, Event::Ready(child));
                         }
                     }
                 }
                 Event::Fault(fi) => {
-                    match faults.events()[fi as usize].kind {
-                        FaultKind::LinkFactor { resource, factor } => {
-                            let ri = resource.0 as usize;
-                            eff_caps[ri] = self.capacities[ri] * factor;
-                            dead[ri] = factor == 0.0;
+                    let fs = fstate.as_mut().expect("fault event without a plan");
+                    let kind = &fault_events[fi as usize].kind;
+                    if let Some(ri) = fs.apply(kind, &self.capacities) {
+                        leveler.note_caps_changed(ri);
+                    }
+                    if let FaultKind::NodeUp { node } = *kind {
+                        let ni = node as usize;
+                        // Re-ready injections parked while down (in
+                        // arrival order: the push seq preserves it).
+                        for tid in std::mem::take(&mut fs.parked[ni]) {
+                            q.push(now, Event::Ready(tid));
                         }
-                        FaultKind::NodeDown { node } => node_down[node as usize] = true,
-                        FaultKind::NodeUp { node } => {
-                            let ni = node as usize;
-                            node_down[ni] = false;
-                            // Re-ready injections parked while down (in
-                            // arrival order: the push seq preserves it).
-                            for tid in std::mem::take(&mut parked[ni]) {
-                                push(&mut heap, &mut seq, now, Event::Ready(tid));
-                            }
-                            // Resume an injection queue left idle when the
-                            // node failed mid-injection.
-                            if !cpu_busy[ni] {
-                                if let Some(next) = cpu_queue[ni].pop_front() {
-                                    cpu_busy[ni] = true;
-                                    push(
-                                        &mut heap,
-                                        &mut seq,
-                                        now + self.config.send_overhead,
-                                        Event::InjectionDone(next),
-                                    );
-                                }
+                        // Resume an injection queue left idle when the
+                        // node failed mid-injection.
+                        if !cpu_busy[ni] {
+                            if let Some(next) = cpu_queue[ni].pop_front() {
+                                cpu_busy[ni] = true;
+                                q.push(
+                                    now + self.config.send_overhead,
+                                    Event::InjectionDone(next),
+                                );
                             }
                         }
                     }
@@ -497,26 +515,25 @@ impl Simulator {
                     // Re-partition running vs. stalled flows under the new
                     // health state, preserving arrival order (determinism).
                     let mut i = 0;
-                    while i < active.len() {
-                        if is_blocked(&dead, &node_down, &specs[active[i].tid as usize]) {
-                            let mut f = active.remove(i);
-                            f.rate = 0.0;
+                    while i < flows.active.len() {
+                        if fs.is_blocked(&specs[flows.active[i].tid as usize]) {
+                            let tid = flows.stall_at(i, now);
+                            leveler.note_leave(tid, &specs[tid as usize].route);
                             if let Some(o) = obs.as_deref_mut() {
-                                o.stalls.push((now, f.tid));
+                                o.stalls.push((now, tid));
                             }
-                            stalled.push(f);
                         } else {
                             i += 1;
                         }
                     }
                     let mut i = 0;
-                    while i < stalled.len() {
-                        if !is_blocked(&dead, &node_down, &specs[stalled[i].tid as usize]) {
-                            let f = stalled.remove(i);
+                    while i < flows.stalled.len() {
+                        if !fs.is_blocked(&specs[flows.stalled[i].tid as usize]) {
+                            let tid = flows.resume_at(i, now);
+                            leveler.note_join(tid, &specs[tid as usize].route);
                             if let Some(o) = obs.as_deref_mut() {
-                                o.resumes.push((now, f.tid));
+                                o.resumes.push((now, tid));
                             }
-                            active.push(f);
                         } else {
                             i += 1;
                         }
@@ -525,13 +542,9 @@ impl Simulator {
                 }
             }
 
-            // Recompute fair shares once all events at this instant are
+            // Re-level fair shares once all events at this instant are
             // handled (cheap peek-based batching).
-            let boundary = heap
-                .peek()
-                .map(|Reverse(e)| e.time > now)
-                .unwrap_or(true);
-            if rates_dirty && boundary {
+            if rates_dirty && q.is_boundary(now) {
                 epoch += 1;
                 if let Some(o) = obs.as_deref_mut() {
                     // Sample the fluid state at the epoch boundary:
@@ -540,7 +553,7 @@ impl Simulator {
                     // untouched.
                     o.waterfill_runs += 1;
                     let mut bytes_in_flight = vec![0.0f64; self.capacities.len()];
-                    for f in &active {
+                    for f in &flows.active {
                         for r in &specs[f.tid as usize].route {
                             bytes_in_flight[r.0 as usize] += f.remaining.max(0.0);
                         }
@@ -551,45 +564,33 @@ impl Simulator {
                         bytes_in_flight,
                     });
                 }
-                if !active.is_empty() {
-                    let demands: Vec<FlowDemand> = active
-                        .iter()
-                        .map(|f| {
-                            let spec = &specs[f.tid as usize];
-                            FlowDemand {
-                                route: &spec.route,
-                                cap: spec.rate_cap.unwrap_or(self.config.per_flow_cap),
-                            }
-                        })
-                        .collect();
+                if !flows.active.is_empty() {
                     // Stalled flows are excluded from the demand set, so no
                     // route ever crosses a zero-capacity (dead) resource.
-                    let caps: &[f64] = if have_faults {
-                        &eff_caps
-                    } else {
-                        &self.capacities
+                    let caps: &[f64] = match fstate.as_ref() {
+                        Some(fs) => &fs.eff_caps,
+                        None => &self.capacities,
                     };
-                    waterfill.compute_with_penalty(
-                        &demands,
+                    leveler.level(
+                        &mut flows.active,
+                        specs,
                         caps,
-                        self.config.contention_penalty,
-                        self.config.contention_floor,
+                        &self.config,
                         &mut rates_scratch,
                     );
                     let mut next_done = f64::INFINITY;
-                    for (f, &r) in active.iter_mut().zip(rates_scratch.iter()) {
-                        f.rate = r;
-                        let eta = now + (f.remaining.max(0.0) / r);
+                    for f in &flows.active {
+                        let eta = now + (f.remaining.max(0.0) / f.rate);
                         if eta < next_done {
                             next_done = eta;
                         }
                     }
-                    push(&mut heap, &mut seq, next_done, Event::FlowCheck { epoch });
+                    q.push(next_done, Event::FlowCheck { epoch });
                 }
                 rates_dirty = false;
             }
 
-            // With faults the heap may hold events past the last delivery
+            // With faults the queue may hold events past the last delivery
             // (recoveries, stale checks); stop once everything arrived.
             if have_faults && delivered_count == n {
                 break;
@@ -618,11 +619,14 @@ impl Simulator {
                 .iter()
                 .filter(|&&s| s != TransferStatus::Delivered)
                 .count() as u64;
+            o.waterfill_full_runs += leveler.full_runs;
+            o.waterfill_incremental_runs += leveler.incremental_runs;
         }
         let makespan = delivery_time.iter().copied().fold(0.0, f64::max);
         SimReport {
             delivery_time,
             flow_start_time,
+            stall_time: flows.into_stall_time(now),
             status,
             makespan,
             end_time: now,
@@ -635,7 +639,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{ResourceId, TransferSpec};
+    use crate::graph::{ResourceId, TransferGraph, TransferSpec};
 
     /// A config with clean round numbers for hand-computed expectations.
     fn test_config() -> SimConfig {
@@ -658,16 +662,25 @@ mod tests {
         Simulator::new(nodes, caps, test_config())
     }
 
+    fn run(s: &Simulator, g: &TransferGraph) -> SimReport {
+        s.simulate(g, SimOptions::new())
+    }
+
+    fn run_with_faults(s: &Simulator, g: &TransferGraph, plan: &FaultPlan) -> SimReport {
+        s.simulate(g, SimOptions::new().faults(plan))
+    }
+
     #[test]
     fn single_transfer_timing() {
         // 1000 bytes at 100 B/s over one link, 1 s injection overhead.
         let s = sim(2, vec![100.0]);
         let mut g = TransferGraph::new();
         let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         assert!((rep.delivered_at(t) - 11.0).abs() < 1e-9, "{}", rep.delivered_at(t));
         assert!((rep.flow_start_time[0] - 1.0).abs() < 1e-9);
         assert_eq!(rep.total_bytes, 1000);
+        assert_eq!(rep.stall_time, vec![0.0]);
     }
 
     #[test]
@@ -677,7 +690,7 @@ mod tests {
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
         g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(0)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         // Both start at t=1 (different source CPUs), share 100 B/s -> 50 each,
         // finish at 1 + 20 = 21.
         for t in &rep.delivery_time {
@@ -691,7 +704,7 @@ mod tests {
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
         g.add(TransferSpec::new(1, 3, 1000, vec![ResourceId(1)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         for t in &rep.delivery_time {
             assert!((t - 11.0).abs() < 1e-6, "{t}");
         }
@@ -704,7 +717,7 @@ mod tests {
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0)]));
         g.add(TransferSpec::new(0, 2, 100, vec![ResourceId(1)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         assert!((rep.flow_start_time[0] - 1.0).abs() < 1e-9);
         assert!((rep.flow_start_time[1] - 2.0).abs() < 1e-9);
     }
@@ -720,7 +733,7 @@ mod tests {
                 .after(vec![a])
                 .with_delay(0.5),
         );
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         let ta = rep.delivered_at(a);
         assert!((ta - 11.0).abs() < 1e-6);
         // b: ready at 11.5, injected at 12.5, 10 s transfer -> 22.5.
@@ -732,7 +745,7 @@ mod tests {
         let s = sim(2, vec![100.0]);
         let mut g = TransferGraph::new();
         let a = g.add(TransferSpec::new(0, 1, 0, vec![ResourceId(0)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         // Injected at t=1, no bytes, delivered immediately (lat=0).
         assert!((rep.delivered_at(a) - 1.0).abs() < 1e-9);
     }
@@ -742,7 +755,7 @@ mod tests {
         let s = sim(2, vec![100.0]);
         let mut g = TransferGraph::new();
         let a = g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0)]).not_before(5.0));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         assert!((rep.delivered_at(a) - 7.0).abs() < 1e-9); // 5 + 1 + 1
     }
 
@@ -753,7 +766,7 @@ mod tests {
         let a = g.add(
             TransferSpec::new(0, 1, 100, vec![ResourceId(0)]).with_rate_cap(10.0),
         );
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         assert!((rep.delivered_at(a) - 11.0).abs() < 1e-9); // 1 + 100/10
     }
 
@@ -765,7 +778,7 @@ mod tests {
         let mut g = TransferGraph::new();
         let short = g.add(TransferSpec::new(0, 2, 500, vec![ResourceId(0)]));
         let long = g.add(TransferSpec::new(1, 2, 2000, vec![ResourceId(0)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         // Both active at t=1 at 50 B/s. Short done at t=11 (500 bytes).
         // Long has 1500 left, now at 100 B/s -> done at 11 + 15 = 26.
         assert!((rep.delivered_at(short) - 11.0).abs() < 1e-6);
@@ -778,7 +791,7 @@ mod tests {
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0), ResourceId(1)]));
         g.add(TransferSpec::new(1, 2, 500, vec![ResourceId(1)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         let rb = rep.resource_bytes.as_ref().unwrap();
         assert!((rb[0] - 1000.0).abs() < 1.0, "{}", rb[0]);
         assert!((rb[1] - 1500.0).abs() < 1.0, "{}", rb[1]);
@@ -792,7 +805,7 @@ mod tests {
         let s = Simulator::new(2, vec![100.0, 100.0], cfg);
         let mut g = TransferGraph::new();
         let a = g.add(TransferSpec::new(0, 1, 100, vec![ResourceId(0), ResourceId(1)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         // 1 (inject) + 1 (transfer) + 2*0.25 (hops) + 0.5 (recv) = 3.0
         assert!((rep.delivered_at(a) - 3.0).abs() < 1e-9, "{}", rep.delivered_at(a));
     }
@@ -802,7 +815,7 @@ mod tests {
         let s = sim(2, vec![100.0]);
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         assert!((rep.makespan - 11.0).abs() < 1e-9);
         assert!((rep.aggregate_throughput() - 1000.0 / 11.0).abs() < 1e-6);
     }
@@ -810,7 +823,7 @@ mod tests {
     #[test]
     fn empty_graph_runs() {
         let s = sim(1, vec![]);
-        let rep = s.run(&TransferGraph::new());
+        let rep = run(&s, &TransferGraph::new());
         assert_eq!(rep.makespan, 0.0);
         assert_eq!(rep.total_bytes, 0);
     }
@@ -828,12 +841,39 @@ mod tests {
         let b = g.add(TransferSpec::new(1, 2, 100, vec![ResourceId(1)]).after(vec![a]));
         let c = g.add(TransferSpec::new(1, 3, 100, vec![ResourceId(2)]).after(vec![a]));
         let d = g.add(TransferSpec::new(2, 0, 100, vec![ResourceId(3)]).after(vec![b, c]));
-        let rep = s.run(&g);
+        let rep = run(&s, &g);
         let t_d = rep.delivered_at(d);
         assert!(t_d > rep.delivered_at(b) && t_d > rep.delivered_at(c));
         // a: 2.0. b ready 2.0, inject 3.0, done 4.0. c queued behind b's
         // injection: inject at 4.0, done 5.0. d after max(b,c)=5: 7.0.
         assert!((t_d - 7.0).abs() < 1e-6, "{t_d}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_simulate() {
+        // The old run surface is thin sugar over `simulate`; pin the
+        // equivalence until the wrappers are removed.
+        let s = sim(3, vec![100.0]);
+        let mut g = TransferGraph::new();
+        g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(1, 2, 700, vec![ResourceId(0)]));
+        let plan = FaultPlan::new().degrade_link(3.0, ResourceId(0), 0.5);
+
+        let a = s.run(&g);
+        let b = s.simulate(&g, SimOptions::new());
+        assert_eq!(a.delivery_time, b.delivery_time);
+
+        let a = s.run_with_faults(&g, &plan);
+        let b = s.simulate(&g, SimOptions::new().faults(&plan));
+        assert_eq!(a.delivery_time, b.delivery_time);
+
+        let mut o1 = SimObserver::new();
+        let mut o2 = SimObserver::new();
+        let a = s.run_observed(&g, &plan, &mut o1);
+        let b = s.simulate(&g, SimOptions::new().faults(&plan).observer(&mut o2));
+        assert_eq!(a.delivery_time, b.delivery_time);
+        assert_eq!(o1, o2);
     }
 
     // ---- fault injection ----
@@ -846,8 +886,8 @@ mod tests {
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
         g.add(TransferSpec::new(1, 2, 700, vec![ResourceId(0)]));
-        let a = s.run(&g);
-        let b = s.run_with_faults(&g, &FaultPlan::new());
+        let a = run(&s, &g);
+        let b = run_with_faults(&s, &g, &FaultPlan::new());
         assert_eq!(a.delivery_time, b.delivery_time);
         assert_eq!(a.flow_start_time, b.flow_start_time);
         assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
@@ -862,7 +902,7 @@ mod tests {
         let mut g = TransferGraph::new();
         let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert_eq!(rep.status_of(t), TransferStatus::Stalled);
         assert_eq!(rep.delivered_at(t), f64::INFINITY);
         assert_eq!(rep.makespan, f64::INFINITY);
@@ -871,6 +911,9 @@ mod tests {
         // The queue drains at the (stale) completion check armed before
         // the fault; end_time is finite and past the fault instant.
         assert!(rep.end_time.is_finite() && rep.end_time >= 6.0, "{}", rep.end_time);
+        // The flow stalls at t=6 and never resumes: stall time accrues
+        // up to end_time.
+        assert!((rep.stall_time_of(t) - (rep.end_time - 6.0)).abs() < 1e-9);
     }
 
     #[test]
@@ -883,9 +926,12 @@ mod tests {
         let plan = FaultPlan::new()
             .fail_link(6.0, ResourceId(0))
             .restore_link(16.0, ResourceId(0));
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert_eq!(rep.status_of(t), TransferStatus::Delivered);
         assert!((rep.delivered_at(t) - 21.0).abs() < 1e-6, "{}", rep.delivered_at(t));
+        // Stalled over [6, 16].
+        assert!((rep.stall_time_of(t) - 10.0).abs() < 1e-9, "{}", rep.stall_time_of(t));
+        assert!((rep.total_stall_time() - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -895,8 +941,10 @@ mod tests {
         let mut g = TransferGraph::new();
         let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let plan = FaultPlan::new().degrade_link(6.0, ResourceId(0), 0.5);
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert!((rep.delivered_at(t) - 16.0).abs() < 1e-6, "{}", rep.delivered_at(t));
+        // Degraded, not blocked: no stall time.
+        assert_eq!(rep.stall_time_of(t), 0.0);
     }
 
     #[test]
@@ -905,7 +953,7 @@ mod tests {
         let mut g = TransferGraph::new();
         let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let plan = FaultPlan::new().fail_link(3.0, ResourceId(1));
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert!((rep.delivered_at(t) - 11.0).abs() < 1e-9);
         assert!(rep.all_delivered());
     }
@@ -918,8 +966,10 @@ mod tests {
         let mut g = TransferGraph::new();
         let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let plan = FaultPlan::new().fail_node(0.0, 0).restore_node(5.0, 0);
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert!((rep.delivered_at(t) - 16.0).abs() < 1e-6, "{}", rep.delivered_at(t));
+        // Parked before injection is not a stall: the flow never existed.
+        assert_eq!(rep.stall_time_of(t), 0.0);
     }
 
     #[test]
@@ -928,9 +978,10 @@ mod tests {
         let mut g = TransferGraph::new();
         let t = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let plan = FaultPlan::new().fail_node(6.0, 1);
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert_eq!(rep.status_of(t), TransferStatus::Stalled);
         assert!(rep.flow_start_time[t.index()].is_finite());
+        assert!(rep.stall_time_of(t) > 0.0);
     }
 
     #[test]
@@ -941,11 +992,12 @@ mod tests {
         let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let b = g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(1)]).after(vec![a]));
         let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert_eq!(rep.status_of(a), TransferStatus::Stalled);
         assert_eq!(rep.status_of(b), TransferStatus::NotStarted);
         assert_eq!(rep.flow_start_time[b.index()], f64::INFINITY);
         assert_eq!(rep.num_delivered(), 0);
+        assert_eq!(rep.stall_time_of(b), 0.0);
     }
 
     #[test]
@@ -957,7 +1009,7 @@ mod tests {
         let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         let b = g.add(TransferSpec::new(2, 3, 1000, vec![ResourceId(1)]));
         let plan = FaultPlan::new().fail_link(2.0, ResourceId(0));
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert_eq!(rep.status_of(a), TransferStatus::Stalled);
         assert_eq!(rep.status_of(b), TransferStatus::Delivered);
         assert!((rep.delivered_at(b) - 11.0).abs() < 1e-6);
@@ -975,9 +1027,67 @@ mod tests {
         let a = g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0), ResourceId(1)]));
         let b = g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(0)]));
         let plan = FaultPlan::new().fail_link(6.0, ResourceId(1));
-        let rep = s.run_with_faults(&g, &plan);
+        let rep = run_with_faults(&s, &g, &plan);
         assert_eq!(rep.status_of(a), TransferStatus::Stalled);
         assert!((rep.delivered_at(b) - 13.5).abs() < 1e-6, "{}", rep.delivered_at(b));
+    }
+
+    #[test]
+    fn full_and_incremental_solvers_agree_bit_for_bit() {
+        // A contended fan-in with a mid-run fault: the exact scenario the
+        // dirty-set machinery handles, pinned against the full solver.
+        let s = sim(6, vec![100.0, 100.0, 80.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 5, 1000, vec![ResourceId(0), ResourceId(2)]));
+        g.add(TransferSpec::new(1, 5, 700, vec![ResourceId(0)]));
+        g.add(TransferSpec::new(2, 5, 900, vec![ResourceId(1), ResourceId(2)]));
+        g.add(TransferSpec::new(3, 5, 400, vec![ResourceId(1)]).after(vec![a]));
+        let plan = FaultPlan::new()
+            .degrade_link(4.0, ResourceId(2), 0.5)
+            .restore_link(9.0, ResourceId(2));
+
+        let full = s.simulate(&g, SimOptions::new().faults(&plan).solver(SolverMode::Full));
+        let inc = s.simulate(
+            &g,
+            SimOptions::new()
+                .faults(&plan)
+                .solver(SolverMode::Incremental { full_fraction: 1.0 }),
+        );
+        let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|f| f.to_bits()).collect() };
+        assert_eq!(bits(&full.delivery_time), bits(&inc.delivery_time));
+        assert_eq!(bits(&full.flow_start_time), bits(&inc.flow_start_time));
+        assert_eq!(bits(&full.stall_time), bits(&inc.stall_time));
+        assert_eq!(full.makespan.to_bits(), inc.makespan.to_bits());
+        assert_eq!(full.status, inc.status);
+        assert_eq!(
+            bits(full.resource_bytes.as_ref().unwrap()),
+            bits(inc.resource_bytes.as_ref().unwrap())
+        );
+    }
+
+    #[test]
+    fn incremental_solver_skips_full_re_levels() {
+        // Many disjoint pairs: after the first epoch, each completion
+        // only dirties its own two-flow component.
+        let s = {
+            let pairs = 16u32;
+            Simulator::new(pairs * 2, vec![100.0; 16], test_config())
+        };
+        let mut g = TransferGraph::new();
+        for p in 0..16u32 {
+            g.add(TransferSpec::new(
+                p * 2,
+                p * 2 + 1,
+                1000 * (p as u64 + 1),
+                vec![ResourceId(p)],
+            ));
+        }
+        let mut o = SimObserver::new();
+        let rep = s.simulate(&g, SimOptions::new().observer(&mut o));
+        assert!(rep.all_delivered());
+        assert!(o.waterfill_incremental_runs > o.waterfill_full_runs,
+            "incremental {} vs full {}", o.waterfill_incremental_runs, o.waterfill_full_runs);
+        assert!(o.events_processed > 0);
     }
 
     #[test]
@@ -991,14 +1101,15 @@ mod tests {
             .fail_link(6.0, ResourceId(1))
             .restore_link(9.0, ResourceId(1));
 
-        let plain = s.run_with_faults(&g, &plan);
+        let plain = run_with_faults(&s, &g, &plan);
         let mut obs = SimObserver::new();
-        let watched = s.run_observed(&g, &plan, &mut obs);
+        let watched = s.simulate(&g, SimOptions::new().faults(&plan).observer(&mut obs));
 
         let bits = |r: &SimReport| -> Vec<u64> {
             r.delivery_time
                 .iter()
                 .chain(r.flow_start_time.iter())
+                .chain(r.stall_time.iter())
                 .chain([r.makespan, r.end_time].iter())
                 .map(|f| f.to_bits())
                 .collect()
@@ -1014,6 +1125,8 @@ mod tests {
         assert!(!obs.heatmap.is_empty());
         // Link 0 carried both flows at the first epoch: 2000 bytes in flight.
         assert_eq!(obs.heatmap.samples[0].bytes_in_flight[0], 2000.0);
+        // Re-level counters partition the solver work.
+        assert!(obs.waterfill_full_runs + obs.waterfill_incremental_runs > 0);
     }
 
     #[test]
@@ -1025,7 +1138,7 @@ mod tests {
         g.add(TransferSpec::new(1, 2, 1000, vec![ResourceId(1)]).after(vec![a]));
         let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
         let mut obs = SimObserver::new();
-        let rep = s.run_observed(&g, &plan, &mut obs);
+        let rep = s.simulate(&g, SimOptions::new().faults(&plan).observer(&mut obs));
         assert!(!rep.all_delivered());
         assert_eq!(obs.transfers_undelivered, 2); // one stalled, one never started
         assert_eq!(obs.stalls.len(), 1);
@@ -1038,6 +1151,6 @@ mod tests {
         let s = sim(2, vec![100.0]);
         let g = TransferGraph::new();
         let plan = FaultPlan::new().fail_link(1.0, ResourceId(9));
-        s.run_with_faults(&g, &plan);
+        run_with_faults(&s, &g, &plan);
     }
 }

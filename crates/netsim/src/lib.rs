@@ -16,13 +16,13 @@
 //! ## Example
 //!
 //! ```
-//! use bgq_netsim::{SimConfig, Simulator, TransferGraph, TransferSpec, ResourceId};
+//! use bgq_netsim::{SimConfig, SimOptions, Simulator, TransferGraph, TransferSpec, ResourceId};
 //!
 //! // Two nodes joined by one 1.8 GB/s link.
 //! let sim = Simulator::new(2, vec![1.8e9], SimConfig::default());
 //! let mut g = TransferGraph::new();
 //! let t = g.add(TransferSpec::new(0, 1, 1 << 20, vec![ResourceId(0)]));
-//! let report = sim.run(&g);
+//! let report = sim.simulate(&g, SimOptions::new());
 //! assert!(report.delivered_at(t) > 0.0);
 //! ```
 
@@ -36,7 +36,7 @@ pub mod trace;
 pub mod waterfill;
 
 pub use config::SimConfig;
-pub use engine::{SimReport, Simulator, TransferStatus};
+pub use engine::{SimOptions, SimReport, Simulator, SolverMode, TransferStatus, DEFAULT_FULL_FRACTION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use graph::{ResourceId, TransferGraph, TransferId, TransferSpec};
 pub use obs::{HeatmapSample, LinkHeatmap, SimObserver};

@@ -1,16 +1,17 @@
-//! Engine-side observation: a [`SimObserver`] the engine fills in during
-//! an observed run ([`Simulator::run_observed`]) and the [`LinkHeatmap`]
+//! Engine-side observation: a [`SimObserver`] the engine fills in when
+//! attached through [`SimOptions::observer`], and the [`LinkHeatmap`]
 //! time series it carries.
 //!
 //! Observation is strictly *passive*: the engine records into the
 //! observer but never branches on it, and the observed code path
 //! performs exactly the same float operations as the unobserved one —
-//! so an observed run produces a bit-identical [`SimReport`] to a plain
-//! [`Simulator::run_with_faults`] on the same inputs. Every recorded
+//! so an observed run produces a bit-identical [`SimReport`] to an
+//! unobserved [`Simulator::simulate`] on the same inputs. Every recorded
 //! quantity is keyed on simulated time and is therefore reproducible
 //! run-over-run and across any thread fan-out above the engine.
 //!
-//! [`Simulator::run_observed`]: crate::Simulator::run_observed
+//! [`Simulator::simulate`]: crate::Simulator::simulate
+//! [`SimOptions::observer`]: crate::SimOptions::observer
 //! [`SimReport`]: crate::SimReport
 
 /// One heatmap sample: the fluid state at a waterfill epoch boundary.
@@ -74,6 +75,17 @@ impl LinkHeatmap {
 pub struct SimObserver {
     /// Rate recomputations performed (waterfill re-runs).
     pub waterfill_runs: u64,
+    /// Re-levels solved over the *entire* active set — either because
+    /// [`crate::SolverMode::Full`] was selected or because the dirty
+    /// closure exceeded the incremental solver's fallback threshold.
+    pub waterfill_full_runs: u64,
+    /// Re-levels confined to the dirty flow/link closure
+    /// ([`crate::SolverMode::Incremental`]); rates outside the closure
+    /// were reused unchanged.
+    pub waterfill_incremental_runs: u64,
+    /// Events popped from the engine's queue (the denominator for
+    /// events/sec in scaling sweeps).
+    pub events_processed: u64,
     /// Fault events applied from the plan.
     pub fault_events: u64,
     /// `(time, transfer)` pairs for flows frozen by a fault — either

@@ -240,7 +240,7 @@ mod tests {
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
         g.add(TransferSpec::new(1, 2, 500, vec![ResourceId(1)]));
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, crate::SimOptions::new());
         (rep, g, caps)
     }
 
@@ -305,7 +305,7 @@ mod tests {
     fn activity_timeline_empty_graph() {
         let sim = Simulator::new(1, vec![], cfg());
         let g = TransferGraph::new();
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, crate::SimOptions::new());
         assert_eq!(activity_timeline(&g, &rep, 3), vec![0.0; 3]);
     }
 
@@ -333,7 +333,7 @@ mod tests {
         let sim = Simulator::new(2, vec![100.0], c);
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 1, 10, vec![ResourceId(0)]));
-        let bare = sim.run(&g);
+        let bare = sim.simulate(&g, crate::SimOptions::new());
         assert_eq!(
             try_utilization(&bare, &[100.0]).unwrap_err(),
             StatsError::MissingLinkStats
@@ -350,7 +350,7 @@ mod tests {
         let sim = Simulator::new(2, vec![100.0], c);
         let mut g = TransferGraph::new();
         g.add(TransferSpec::new(0, 1, 10, vec![ResourceId(0)]));
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, crate::SimOptions::new());
         utilization(&rep, &[100.0]);
     }
 }

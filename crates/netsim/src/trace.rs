@@ -153,7 +153,7 @@ mod tests {
                 .after(vec![a])
                 .with_delay(0.5),
         );
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, crate::SimOptions::new());
         (g, rep)
     }
 

@@ -217,11 +217,17 @@ impl Waterfill {
             debug_assert_eq!(self.count[ri], 0, "bottleneck must drain completely");
         }
 
-        // Reset scratch for the next call.
+        // Reset scratch for the next call. Versions are zeroed too, so the
+        // allocation (including share-tie resolution, which compares
+        // versions) is a pure function of the demand set — a sub-solve
+        // over one contention component returns bit-identical rates to
+        // the same component inside a full solve, no matter what calls
+        // came before.
         for &ri in &self.touched {
             let ri = ri as usize;
             self.remaining[ri] = 0.0;
             self.count[ri] = 0;
+            self.version[ri] = 0;
             self.flows_on[ri].clear();
         }
         self.touched.clear();

@@ -37,7 +37,7 @@ fn thousand_flow_fan_in_is_fair_and_exact() {
             vec![ResourceId(i), shared],
         ));
     }
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     // Shared link: 1000 flows over 1000 B/s -> 1 B/s each; 1000 bytes
     // each -> all complete at t = 1000.
     for t in &rep.delivery_time {
@@ -60,7 +60,7 @@ fn deep_chain_of_thousand_transfers() {
         }
         prev = Some(g.add(s));
     }
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     // Each link transfer takes 1 s; strictly sequential.
     assert!((rep.makespan - 1000.0).abs() < 1e-3, "{}", rep.makespan);
 }
@@ -77,7 +77,7 @@ fn zero_byte_barrier_tree_collapses_to_latency() {
         .collect();
     let mid = g.add(TransferSpec::new(4, 5, 0, vec![ResourceId(4)]).after(leaves));
     let root = g.add(TransferSpec::new(5, 6, 0, vec![ResourceId(5)]).after(vec![mid]));
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     // 3 levels x (1 hop x 0.5 s); injections are free in this config.
     assert!((rep.delivered_at(root) - 1.5).abs() < 1e-9);
 }
@@ -95,7 +95,7 @@ fn penalty_and_cap_compose() {
     let mut g = TransferGraph::new();
     let a = g.add(TransferSpec::new(0, 2, 300, vec![ResourceId(0)]));
     let b = g.add(TransferSpec::new(1, 2, 300, vec![ResourceId(0)]));
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     assert!((rep.delivered_at(a) - 10.0).abs() < 1e-6);
     assert!((rep.delivered_at(b) - 10.0).abs() < 1e-6);
 }
@@ -111,7 +111,7 @@ fn penalty_binds_when_caps_do_not() {
     // 100/1.25 = 80 -> 40 each -> 400 bytes in 10 s.
     let a = g.add(TransferSpec::new(0, 2, 400, vec![ResourceId(0)]));
     g.add(TransferSpec::new(1, 2, 400, vec![ResourceId(0)]));
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     assert!((rep.delivered_at(a) - 10.0).abs() < 1e-6, "{}", rep.delivered_at(a));
 }
 
@@ -124,7 +124,7 @@ fn wide_fan_out_from_one_node_serializes_injection() {
     for i in 0..100u32 {
         g.add(TransferSpec::new(0, i + 1, 1, vec![ResourceId(i)]));
     }
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     // The 100th injection cannot start before 99 x 0.1 s of CPU time.
     let last_start = rep
         .flow_start_time
@@ -140,7 +140,7 @@ fn mixed_start_times_interleave_correctly() {
     // Flow A runs 0..10 alone (1000 bytes at 100); flow B enters at t=4.
     let a = g.add(TransferSpec::new(0, 2, 1000, vec![ResourceId(0)]));
     let b = g.add(TransferSpec::new(1, 2, 300, vec![ResourceId(0)]).not_before(4.0));
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     // A: 400 bytes alone (t=0..4), then shares 50/50. B needs 300 bytes
     // at 50 -> 6 s -> done at 10. A: 400 + 6x50 = 700 by t=10, 300 left
     // alone at 100 -> done at 13.

@@ -64,7 +64,7 @@ proptest! {
         for s in specs {
             g.add(s);
         }
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, SimOptions::new());
         for (i, t) in rep.delivery_time.iter().enumerate() {
             prop_assert!(t.is_finite(), "transfer {i} never delivered");
             prop_assert!(*t >= 0.0);
@@ -79,8 +79,8 @@ proptest! {
         for s in specs {
             g.add(s);
         }
-        let r1 = sim.run(&g);
-        let r2 = sim.run(&g);
+        let r1 = sim.simulate(&g, SimOptions::new());
+        let r2 = sim.simulate(&g, SimOptions::new());
         prop_assert_eq!(r1.delivery_time, r2.delivery_time);
         prop_assert_eq!(r1.makespan, r2.makespan);
     }
@@ -92,7 +92,7 @@ proptest! {
         for s in specs {
             g.add(s);
         }
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, SimOptions::new());
         // Each resource must have carried exactly the bytes of the
         // transfers routed over it (within float tolerance).
         let mut expect = vec![0.0f64; caps.len()];
@@ -126,7 +126,7 @@ proptest! {
             ids.push(id);
             prev = Some(id);
         }
-        let rep = sim.run(&g);
+        let rep = sim.simulate(&g, SimOptions::new());
         for w in ids.windows(2) {
             prop_assert!(rep.delivered_at(w[0]) < rep.delivered_at(w[1]));
         }
@@ -148,7 +148,7 @@ proptest! {
                     vec![ResourceId(0)],
                 ));
             }
-            sim.run(&g).delivered_at(probe)
+            sim.simulate(&g, SimOptions::new()).delivered_at(probe)
         };
         let base = run_with(0);
         let loaded = run_with(extra);
@@ -164,12 +164,12 @@ proptest! {
         let sim = Simulator::new(2, vec![100.0, 100.0], quick_config());
         let mut direct = TransferGraph::new();
         let d = direct.add(TransferSpec::new(0, 1, bytes, vec![ResourceId(0)]));
-        let t_direct = sim.run(&direct).delivered_at(d);
+        let t_direct = sim.simulate(&direct, SimOptions::new()).delivered_at(d);
 
         let mut split = TransferGraph::new();
         let a = split.add(TransferSpec::new(0, 1, bytes / 2, vec![ResourceId(0)]));
         let b = split.add(TransferSpec::new(0, 1, bytes - bytes / 2, vec![ResourceId(1)]));
-        let rep = sim.run(&split);
+        let rep = sim.simulate(&split, SimOptions::new());
         let t_split = rep.last_delivery(&[a, b]);
         prop_assert!(t_split < t_direct, "split {t_split} vs direct {t_direct}");
     }
@@ -313,7 +313,7 @@ proptest! {
             g.add(s);
         }
         let plan = FaultPlan::random_link_faults(seed, caps.len() as u32, 20.0, 0.05, 1.0);
-        let rep = sim.run_with_faults(&g, &plan);
+        let rep = sim.simulate(&g, SimOptions::new().faults(&plan));
         for i in 0..g.len() {
             let start = rep.flow_start_time[i];
             let end = rep.delivery_time[i];
@@ -330,7 +330,7 @@ proptest! {
             }
         }
         prop_assert!(rep.end_time.is_finite());
-        let again = sim.run_with_faults(&g, &plan);
+        let again = sim.simulate(&g, SimOptions::new().faults(&plan));
         prop_assert_eq!(rep.delivery_time, again.delivery_time);
         prop_assert_eq!(rep.status, again.status);
     }
@@ -346,7 +346,7 @@ fn water_filling_matches_hand_computed_scenario() {
     let a = g.add(TransferSpec::new(0, 1, 5_000, vec![ResourceId(0)]));
     let b = g.add(TransferSpec::new(2, 1, 5_000, vec![ResourceId(0)]));
     let c = g.add(TransferSpec::new(3, 1, 5_000, vec![ResourceId(1)]));
-    let rep = sim.run(&g);
+    let rep = sim.simulate(&g, SimOptions::new());
     let times: Vec<f64> = [a, b, c].iter().map(|t| rep.delivered_at(*t)).collect();
     // All three transfer at 50 B/s -> 100 s + overheads, same finish.
     assert!((times[0] - times[1]).abs() < 1e-6);

@@ -20,7 +20,10 @@ fn main() {
 
     for bytes in [4u64 << 10, 64 << 10, 1 << 20, 32 << 20] {
         let mut prog = Program::new(&machine);
-        let (handle, decision) = mover.plan_transfer(&mut prog, src, dst, bytes);
+        let outcome = mover
+            .plan(&mut prog, PlanRequest::new(src, dst, bytes))
+            .unwrap();
+        let (handle, decision) = (outcome.handle, outcome.decision);
         let report = prog.run();
         let label = match decision {
             Decision::Direct(_) => "direct".to_string(),

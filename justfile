@@ -1,10 +1,17 @@
 # Common development tasks. Run with `just <target>`.
 
 # Build, test, and lint — the gate every change must pass.
-verify: obs
+verify: obs bench-smoke
     cargo build --release
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Incremental-solver smoke check: a tiny scale sweep. The binary asserts
+# full-vs-incremental bit-identity and that the dirty-set machinery
+# actually avoided full re-levels (nonzero speedup counters).
+bench-smoke:
+    cargo run --release -p bgq-bench --bin scale -- --max-nodes 512 \
+        --out results/obs/scale_smoke.json
 
 # Observability smoke check: run fig5 with artifacts, then validate them
 # (JSON parses, CSV sorted/deduplicated, nothing undelivered).

@@ -33,9 +33,15 @@
 //! let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
 //! let mover = SparseMover::new(&machine);
 //! let mut prog = Program::new(&machine);
-//! let (handle, decision) = mover.plan_transfer(&mut prog, NodeId(0), NodeId(127), 32 << 20);
+//! let outcome = mover
+//!     .plan(&mut prog, PlanRequest::new(NodeId(0), NodeId(127), 32 << 20))
+//!     .unwrap();
 //! let report = prog.run();
-//! println!("{decision:?} -> {:.2} GB/s", handle.throughput(&report) / 1e9);
+//! println!(
+//!     "{:?} -> {:.2} GB/s",
+//!     outcome.decision,
+//!     outcome.handle.throughput(&report) / 1e9
+//! );
 //! ```
 
 pub use bgq_comm as comm;
@@ -60,7 +66,7 @@ pub mod prelude {
     };
     pub use sdm_core::{
         AggregatorTable, AssignPolicy, CostModel, Decision, IoMoveOptions, MultipathOptions,
-        ProxySearchConfig, SparseMover,
+        PlanOutcome, PlanPolicy, PlanRequest, ProxySearchConfig, SparseMover,
     };
 }
 
@@ -73,7 +79,9 @@ mod tests {
         let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
         let mover = SparseMover::new(&machine);
         let mut prog = Program::new(&machine);
-        let (h, _) = mover.plan_transfer(&mut prog, NodeId(0), NodeId(5), 4096);
-        assert!(h.throughput(&prog.run()) > 0.0);
+        let out = mover
+            .plan(&mut prog, PlanRequest::new(NodeId(0), NodeId(5), 4096))
+            .unwrap();
+        assert!(out.handle.throughput(&prog.run()) > 0.0);
     }
 }

@@ -21,9 +21,12 @@ fn headline_two_x_point_to_point_improvement() {
     let direct = hd.throughput(&pd.run());
 
     let mut pm = Program::new(&machine);
-    let (hm, decision) = mover.plan_transfer(&mut pm, NodeId(0), NodeId(127), bytes);
+    let out = mover
+        .plan(&mut pm, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+        .unwrap();
+    let decision = out.decision;
     assert!(matches!(decision, Decision::Multipath { paths: 4 }), "{decision:?}");
-    let multi = hm.throughput(&pm.run());
+    let multi = out.handle.throughput(&pm.run());
 
     let speedup = multi / direct;
     assert!(
@@ -140,7 +143,9 @@ fn degenerate_partitions_fall_back_gracefully() {
     let machine = Machine::new(Shape::new(2, 1, 1, 1, 1), SimConfig::default());
     let mover = SparseMover::new(&machine);
     let mut prog = Program::new(&machine);
-    let (h, d) = mover.plan_transfer(&mut prog, NodeId(0), NodeId(1), 64 << 20);
-    assert!(matches!(d, Decision::Direct(_)));
-    assert!(h.throughput(&prog.run()) > 0.0);
+    let out = mover
+        .plan(&mut prog, PlanRequest::new(NodeId(0), NodeId(1), 64 << 20))
+        .unwrap();
+    assert!(matches!(out.decision, Decision::Direct(_)));
+    assert!(out.handle.throughput(&prog.run()) > 0.0);
 }

@@ -30,7 +30,10 @@ proptest! {
         let (src, dst) = (NodeId(src), NodeId(dst));
 
         let mut prog = Program::new(&m);
-        let (handle, decision) = mover.plan_transfer(&mut prog, src, dst, bytes);
+        let out = mover
+            .plan(&mut prog, PlanRequest::new(src, dst, bytes))
+            .unwrap();
+        let (handle, decision) = (out.handle, out.decision);
         let t_planned = handle.completed_at(&prog.run());
         prop_assert!(t_planned.is_finite() && t_planned > 0.0);
 
@@ -76,6 +79,9 @@ proptest! {
             }
             Decision::Direct(DirectReason::NoDisjointPaths) => {
                 // Nothing to compare: the search found no usable paths.
+            }
+            Decision::Direct(DirectReason::Requested) => {
+                unreachable!("Auto policy never reports a requested direct plan")
             }
         }
     }
