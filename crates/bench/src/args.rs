@@ -15,7 +15,10 @@
 //! * `--metrics-out PATH` — write the session's metrics snapshot as
 //!   deterministic CSV after the run;
 //! * `--trace-out PATH` — write a Perfetto-loadable Chrome trace of a
-//!   representative run of the figure.
+//!   representative run of the figure;
+//! * `--profile-out PATH` — write a bottleneck-attribution profile
+//!   (deterministic JSON, see [`bgq_obs::profile`]) of the same
+//!   representative run.
 //!
 //! Arguments that don't start with `--` are collected into
 //! [`BenchArgs::positional`] for binaries that take operands
@@ -43,7 +46,7 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::UnknownFlag(flag) => write!(
                 f,
-                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N, --observe, --metrics-out PATH, --trace-out PATH)"
+                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N, --observe, --metrics-out PATH, --trace-out PATH, --profile-out PATH)"
             ),
             ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             ArgError::BadValue { flag, value } => {
@@ -76,6 +79,8 @@ pub struct BenchArgs {
     pub metrics_out: Option<String>,
     /// Write a Chrome trace of a representative run here after the run.
     pub trace_out: Option<String>,
+    /// Write a bottleneck-attribution profile (JSON) here after the run.
+    pub profile_out: Option<String>,
     /// Non-flag operands, in order.
     pub positional: Vec<String>,
 }
@@ -94,6 +99,7 @@ impl Default for BenchArgs {
             observe: false,
             metrics_out: None,
             trace_out: None,
+            profile_out: None,
             positional: Vec::new(),
         }
     }
@@ -140,6 +146,10 @@ impl BenchArgs {
                 }
                 "--trace-out" => {
                     out.trace_out = Some(it.next().ok_or(ArgError::MissingValue("--trace-out"))?);
+                }
+                "--profile-out" => {
+                    out.profile_out =
+                        Some(it.next().ok_or(ArgError::MissingValue("--profile-out"))?);
                 }
                 other if other.starts_with("--") => {
                     return Err(ArgError::UnknownFlag(other.to_string()));
@@ -266,6 +276,13 @@ mod tests {
         assert_eq!(b.metrics_out.as_deref(), Some("m.csv"));
         assert_eq!(b.trace_out.as_deref(), Some("t.json"));
 
+        let c = parse(&["--profile-out", "p.json"]).unwrap();
+        assert_eq!(c.profile_out.as_deref(), Some("p.json"));
+        assert!(
+            !c.observe_enabled(),
+            "profiles run their own scenario; no session registry needed"
+        );
+
         assert_eq!(
             parse(&["--metrics-out"]),
             Err(ArgError::MissingValue("--metrics-out"))
@@ -273,6 +290,10 @@ mod tests {
         assert_eq!(
             parse(&["--trace-out"]),
             Err(ArgError::MissingValue("--trace-out"))
+        );
+        assert_eq!(
+            parse(&["--profile-out"]),
+            Err(ArgError::MissingValue("--profile-out"))
         );
     }
 

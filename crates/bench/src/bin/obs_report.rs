@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bgq-bench --bin obs_report -- [--check] FILE...
+//! cargo run --release -p bgq-bench --bin obs_report -- [--check] --diff NEW BASELINE
 //! ```
 //!
 //! Files ending in `.csv` are treated as metrics snapshots
@@ -9,13 +10,22 @@
 //! decision and cache counters, checks the rows are name-sorted and
 //! duplicate-free, and shouts if `comm.transfers_undelivered` is
 //! non-zero — a stalled run must never look like a quiet success.
-//! Files ending in `.json` are treated as Chrome traces and validated
-//! as RFC 8259 JSON with the expected trace-event envelope.
+//! Files ending in `.json` are treated as Chrome traces — unless they
+//! carry the `"bgq_profile"` schema key, in which case they are parsed
+//! as bottleneck-attribution profiles, their accounting invariants
+//! checked ([`bgq_obs::profile::RunProfile::validate`]), and their
+//! per-run bottleneck summary printed.
+//!
+//! `--diff NEW BASELINE` compares two profile artifacts (makespan
+//! drift, transfer-count changes, bottleneck-link set changes, >1%
+//! per-link blame drift) — the regression gate `just profile` runs
+//! against the committed `results/BENCH_*.json` baselines.
 //!
 //! With `--check`, any problem (unparsable JSON, unsorted/duplicate
-//! CSV, undelivered transfers) exits non-zero — the mode `just obs`
-//! and CI use.
+//! CSV, undelivered transfers, profile diffs) exits non-zero — the
+//! mode `just obs` / `just profile` and CI use.
 
+use bgq_obs::ProfileArtifact;
 use std::process::ExitCode;
 
 /// One validated artifact: its path and the problems found in it.
@@ -84,6 +94,48 @@ fn check_metrics_csv(path: &str, contents: &str) -> Checked {
     }
 }
 
+fn check_profile_json(path: &str, contents: &str) -> Checked {
+    let mut problems = Vec::new();
+    match ProfileArtifact::from_json(contents) {
+        Ok(art) => {
+            if let Err(e) = art.validate() {
+                problems.push(format!("accounting invariant broken: {e}"));
+            }
+            println!("{path}: profile with {} run(s)", art.runs.len());
+            for run in &art.runs {
+                let undelivered = run.transfers.iter().filter(|t| !t.delivered).count();
+                println!(
+                    "  {}: {} transfer(s), end {:?} s, network-limited {:.6} s",
+                    run.name,
+                    run.transfers.len(),
+                    run.end_time,
+                    run.total_network_limited(),
+                );
+                for (label, secs) in run.top_bottlenecks(3) {
+                    println!("    bottleneck {label}: {secs:.6} s");
+                }
+                if undelivered > 0 {
+                    println!("  *** WARNING: {undelivered} transfer(s) UNDELIVERED ***");
+                    problems.push(format!("{undelivered} undelivered transfer(s) in {}", run.name));
+                }
+            }
+        }
+        Err(e) => problems.push(format!("invalid profile: {e}")),
+    }
+    Checked {
+        path: path.to_string(),
+        problems,
+    }
+}
+
+fn diff_profiles(new_path: &str, base_path: &str) -> Result<Vec<String>, String> {
+    let read = |p: &str| -> Result<ProfileArtifact, String> {
+        let contents = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        ProfileArtifact::from_json(&contents).map_err(|e| format!("{p}: {e}"))
+    };
+    Ok(read(new_path)?.diff(&read(base_path)?))
+}
+
 fn check_trace_json(path: &str, contents: &str) -> Checked {
     let mut problems = Vec::new();
     if let Err(e) = bgq_obs::json::validate(contents) {
@@ -102,15 +154,47 @@ fn check_trace_json(path: &str, contents: &str) -> Checked {
 
 fn main() -> ExitCode {
     let mut strict = false;
+    let mut diff = false;
     let mut paths = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--check" => strict = true,
+            "--diff" => diff = true,
             _ => paths.push(arg),
         }
     }
+
+    if diff {
+        if paths.len() != 2 {
+            eprintln!("usage: obs_report [--check] --diff NEW BASELINE");
+            return ExitCode::from(2);
+        }
+        let lines = match diff_profiles(&paths[0], &paths[1]) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if lines.is_empty() {
+            println!("{} matches baseline {}", paths[0], paths[1]);
+            return ExitCode::SUCCESS;
+        }
+        println!("{} vs baseline {}:", paths[0], paths[1]);
+        for l in &lines {
+            println!("  {l}");
+        }
+        return if strict {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     if paths.is_empty() {
-        eprintln!("usage: obs_report [--check] FILE...  (.csv = metrics, .json = trace)");
+        eprintln!(
+            "usage: obs_report [--check] FILE...  (.csv = metrics, .json = trace or profile)"
+        );
         return ExitCode::from(2);
     }
 
@@ -124,7 +208,9 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let checked = if path.ends_with(".json") {
+        let checked = if contents.contains("\"bgq_profile\"") {
+            check_profile_json(path, &contents)
+        } else if path.ends_with(".json") {
             check_trace_json(path, &contents)
         } else {
             check_metrics_csv(path, &contents)

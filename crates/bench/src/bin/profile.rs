@@ -1,0 +1,58 @@
+//! Why was this run slow? Bottleneck-attribution report for a figure's
+//! representative scenario.
+//!
+//! ```text
+//! cargo run --release -p bgq-bench --bin profile -- [FIGURE] \
+//!     [--csv] [--profile-out PATH] [--trace-out PATH]
+//! ```
+//!
+//! `FIGURE` defaults to `fig6`. The report shows, per run (`direct` /
+//! `multipath` / `sparse_write`), where the flow-seconds went
+//! (network-limited vs. cap-limited vs. queued vs. fault-stalled vs.
+//! delivery latency), the ranked per-link blame, and the critical
+//! dependency chain through the multipath proxy stages with its slowest
+//! segment.
+//!
+//! `--csv` prints the per-transfer decomposition and per-link blame
+//! rollup as CSV instead. `--profile-out` writes the deterministic JSON
+//! artifact (`obs_report` validates and `--diff`s it); `--trace-out`
+//! writes a Perfetto track of each flow's binding-link changes.
+
+use bgq_bench::runner::PlanCache;
+use bgq_bench::{profile_for_with_trace, render_report, write_artifact, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let figure = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("fig6");
+
+    let cache = PlanCache::new();
+    let Some((art, rec)) = profile_for_with_trace(figure, &cache) else {
+        eprintln!("no representative profile for {figure} (try fig5, fig6, fig7, fig10, resilience)");
+        std::process::exit(2);
+    };
+    if let Err(e) = art.validate() {
+        eprintln!("profile accounting broken: {e}");
+        std::process::exit(1);
+    }
+
+    if args.csv {
+        print!("{}", art.to_csv());
+        print!("{}", art.blame_csv());
+    } else {
+        print!("{}", render_report(&art));
+    }
+
+    if let Some(path) = &args.profile_out {
+        write_artifact(path, &art.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        write_artifact(path, &rec.to_chrome_json())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

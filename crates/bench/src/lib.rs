@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod io;
 pub mod micro;
 pub mod obs;
+pub mod profile;
 pub mod resilience;
 pub mod runner;
 pub mod scale;
@@ -43,6 +44,11 @@ pub use micro::{
 pub use obs::{
     emit_artifacts, fig5_trace, fig6_trace, io_trace, pair_trace, resilience_trace, trace_for,
     write_artifact, TRACE_BYTES,
+};
+pub use profile::{
+    binding_trace, coupling_profile, fig6_profile, io_profile, pair_profile, profile_for,
+    profile_for_with_trace, render_report, resilience_profile, resource_label, run_profile,
+    run_profiled,
 };
 pub use resilience::{
     default_scenarios, fault_plan_for, resilience_point, Resilience, ResiliencePoint, Scenario,

@@ -277,8 +277,9 @@ pub fn write_artifact(path: &str, contents: &str) -> std::io::Result<()> {
 }
 
 /// Emit the artifacts a figure binary was asked for: the session's
-/// metrics snapshot (`--metrics-out`) and the figure's representative
-/// trace (`--trace-out`). Call once, after the run.
+/// metrics snapshot (`--metrics-out`), the figure's representative
+/// trace (`--trace-out`) and its bottleneck-attribution profile
+/// (`--profile-out`). Call once, after the run.
 pub fn emit_artifacts(args: &crate::BenchArgs, session: &crate::ExperimentSession, figure: &str) {
     if let Some(path) = &args.metrics_out {
         let snap = session
@@ -296,6 +297,18 @@ pub fn emit_artifacts(args: &crate::BenchArgs, session: &crate::ExperimentSessio
                 eprintln!("wrote {path}");
             }
             None => eprintln!("no representative trace for {figure}; skipping {path}"),
+        }
+    }
+    if let Some(path) = &args.profile_out {
+        match crate::profile::profile_for(figure, session.cache()) {
+            Some(art) => {
+                art.validate()
+                    .unwrap_or_else(|e| panic!("profile accounting broken: {e}"));
+                write_artifact(path, &art.to_json())
+                    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                eprintln!("wrote {path}");
+            }
+            None => eprintln!("no representative profile for {figure}; skipping {path}"),
         }
     }
 }

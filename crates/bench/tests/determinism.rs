@@ -211,3 +211,35 @@ fn observed_artifacts_identical_across_thread_counts() {
     assert_eq!(m1, m4, "metrics CSV must not depend on the thread count");
     assert_eq!(t1, t4, "trace JSON must not depend on the thread count");
 }
+
+#[test]
+fn profile_artifacts_identical_across_thread_counts_and_reruns() {
+    // The bottleneck-attribution artifact is pure simulated time: its
+    // JSON must be byte-identical whether the session that warmed the
+    // plan cache ran on one worker or four, and replaying the profile on
+    // the same cache must reproduce the bytes exactly.
+    let run = |threads: usize| {
+        let session = ExperimentSession::new(threads);
+        session.run(&Fig5 {
+            sizes: vec![64 << 10, 16 << 20],
+        });
+        let art = bgq_bench::profile_for("fig5", session.cache())
+            .expect("fig5 has a representative profile");
+        art.validate().expect("accounting must balance");
+        let first = art.to_json();
+        let again = bgq_bench::profile_for("fig5", session.cache())
+            .expect("fig5 has a representative profile")
+            .to_json();
+        assert_eq!(first, again, "rerun on a warm cache must replay the bytes");
+        first
+    };
+    let p1 = run(1);
+    let p4 = run(4);
+    assert_eq!(p1, p4, "profile JSON must not depend on the thread count");
+    // And the artifact survives a parse/serialize round trip bit-exactly —
+    // the property the `--diff` baseline workflow rests on.
+    let reparsed = bgq_obs::ProfileArtifact::from_json(&p1)
+        .expect("own JSON must parse")
+        .to_json();
+    assert_eq!(p1, reparsed, "JSON round trip must be bit-exact");
+}

@@ -53,6 +53,12 @@ pub(crate) struct Leveler {
     dirty_flows: Vec<u32>,
     /// Active-list indices of dirty flows, rebuilt each re-level.
     sub_idx: Vec<u32>,
+    /// Per-transfer binding resource (the waterfill resource whose
+    /// residual fixed the flow's rate; `CAP_BINDING` = its own cap) from
+    /// the most recent solve that included the flow. Untouched flows
+    /// keep their previous binding for the same reason they keep their
+    /// previous rate: their contention component did not change.
+    binding: Vec<u32>,
     /// Full re-levels performed (entire active set).
     pub full_runs: u64,
     /// Incremental re-levels performed (dirty closure only).
@@ -81,6 +87,7 @@ impl Leveler {
             flow_dirty: vec![false; num_transfers],
             dirty_flows: Vec::new(),
             sub_idx: Vec::new(),
+            binding: vec![crate::waterfill::CAP_BINDING; num_transfers],
             full_runs: 0,
             incremental_runs: 0,
         }
@@ -126,6 +133,12 @@ impl Leveler {
     /// A fault changed a resource's effective capacity.
     pub fn note_caps_changed(&mut self, ri: usize) {
         self.mark_res(ri);
+    }
+
+    /// The binding resource of transfer `tid` as of the last re-level
+    /// that included it (`CAP_BINDING` = bound by its own rate cap).
+    pub fn binding_of(&self, tid: u32) -> u32 {
+        self.binding[tid as usize]
     }
 
     /// Re-level `active` at an epoch boundary: close the dirty set, pick
@@ -203,8 +216,12 @@ impl Leveler {
                     config.contention_floor,
                     rates,
                 );
-                for (k, &i) in self.sub_idx.iter().enumerate() {
-                    active[i as usize].rate = rates[k];
+                let Leveler { wf, binding, sub_idx, .. } = self;
+                let bindings = wf.bindings();
+                for (k, &i) in sub_idx.iter().enumerate() {
+                    let f = &mut active[i as usize];
+                    f.rate = rates[k];
+                    binding[f.tid as usize] = bindings[k];
                 }
             }
         }
@@ -236,8 +253,11 @@ impl Leveler {
             config.contention_floor,
             rates,
         );
-        for (f, &r) in active.iter_mut().zip(rates.iter()) {
+        let Leveler { wf, binding, .. } = self;
+        let bindings = wf.bindings();
+        for ((f, &r), &b) in active.iter_mut().zip(rates.iter()).zip(bindings) {
             f.rate = r;
+            binding[f.tid as usize] = b;
         }
     }
 
@@ -348,6 +368,36 @@ mod tests {
         assert_eq!(active[0].rate, 50.0);
         assert_eq!(active[1].rate, 50.0);
         assert_eq!(active[2].rate, 50.0);
+    }
+
+    #[test]
+    fn bindings_survive_untouched_re_levels() {
+        // Flows 0,1 contend on link 0 (binding 0); flow 2 rides link 1
+        // alone at the shared-equals-cap tie, where the real link wins
+        // (lower resource index). After flow 2 leaves, the untouched
+        // component's bindings must persist unchanged.
+        let specs = vec![spec(&[0]), spec(&[0]), spec(&[1])];
+        let caps = [100.0, 100.0];
+        let mut lev = Leveler::new(
+            2,
+            3,
+            SolverMode::Incremental { full_fraction: 1.0 },
+        );
+        let mut active = vec![flow(0), flow(1), flow(2)];
+        let mut rates = Vec::new();
+        for (tid, s) in specs.iter().enumerate() {
+            lev.note_join(tid as u32, &s.route);
+        }
+        lev.level(&mut active, &specs, &caps, &cfg(), &mut rates);
+        assert_eq!(lev.binding_of(0), 0);
+        assert_eq!(lev.binding_of(1), 0);
+        assert_eq!(lev.binding_of(2), 1);
+
+        lev.note_leave(2, &specs[2].route);
+        active.pop();
+        lev.level(&mut active, &specs, &caps, &cfg(), &mut rates);
+        assert_eq!(lev.binding_of(0), 0, "untouched binding must persist");
+        assert_eq!(lev.binding_of(1), 0);
     }
 
     #[test]

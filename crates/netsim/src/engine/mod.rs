@@ -28,7 +28,8 @@ mod queue;
 use crate::config::SimConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::graph::{TransferGraph, TransferId};
-use crate::obs::{HeatmapSample, SimObserver};
+use crate::obs::{FaultReLevel, HeatmapSample, SimObserver};
+use crate::profile::{ProfileState, SimProfile};
 use faults::FaultState;
 use flow_state::FlowSet;
 use leveling::Leveler;
@@ -77,6 +78,10 @@ pub struct SimOptions<'a> {
     pub observer: Option<&'a mut SimObserver>,
     /// Rate re-leveling strategy.
     pub solver: SolverMode,
+    /// Collect bottleneck attribution into [`SimReport::profile`].
+    /// Profiling is passive: the report's other fields are bit-identical
+    /// to an unprofiled run.
+    pub profile: bool,
 }
 
 impl<'a> SimOptions<'a> {
@@ -101,6 +106,13 @@ impl<'a> SimOptions<'a> {
         self.solver = mode;
         self
     }
+
+    /// Collect per-transfer bottleneck attribution (see
+    /// [`crate::profile`]).
+    pub fn profiled(mut self) -> SimOptions<'a> {
+        self.profile = true;
+        self
+    }
 }
 
 /// Final state of one transfer in a [`SimReport`].
@@ -117,7 +129,7 @@ pub enum TransferStatus {
 }
 
 /// Result of executing a transfer graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Delivery time of each transfer (same indexing as the graph);
     /// `f64::INFINITY` for transfers that never delivered.
@@ -144,6 +156,8 @@ pub struct SimReport {
     pub total_bytes: u64,
     /// Bytes carried per resource (only if `collect_link_stats`).
     pub resource_bytes: Option<Vec<f64>>,
+    /// Bottleneck attribution (only if [`SimOptions::profiled`]).
+    pub profile: Option<SimProfile>,
 }
 
 impl SimReport {
@@ -298,6 +312,7 @@ impl Simulator {
             faults,
             observer: mut obs,
             solver,
+            profile,
         } = opts;
         let n = graph.len();
         let specs = graph.specs();
@@ -365,6 +380,10 @@ impl Simulator {
         let mut delivery_time = vec![f64::INFINITY; n];
         let mut flow_start_time = vec![f64::INFINITY; n];
         let mut delivered_count: usize = 0;
+        // Bottleneck-attribution accumulator. Strictly passive, like the
+        // observer: it reads `dt` and engine state but never feeds a
+        // float back into the simulation.
+        let mut pstate: Option<ProfileState> = profile.then(|| ProfileState::new(n));
         let mut resource_bytes = if self.config.collect_link_stats {
             Some(vec![0.0f64; self.capacities.len()])
         } else {
@@ -391,11 +410,22 @@ impl Simulator {
                         }
                     }
                 }
+                if let Some(ps) = pstate.as_mut() {
+                    // Every active flow spent `dt` bound by whatever
+                    // resource the last re-level named for it (rates are
+                    // never stale across an advance).
+                    for f in &flows.active {
+                        ps.accrue(f.tid, leveler.binding_of(f.tid), dt);
+                    }
+                }
                 now = entry.time;
             }
 
             match entry.event {
                 Event::Ready(tid) => {
+                    if let Some(ps) = pstate.as_mut() {
+                        ps.note_ready(tid, now);
+                    }
                     let node = specs[tid as usize].src as usize;
                     if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
                         // Source is down: park until the node recovers.
@@ -423,6 +453,9 @@ impl Simulator {
                     flow_start_time[tid as usize] = now;
                     if spec.bytes == 0 {
                         // Pure synchronization edge: deliver after latency.
+                        if let Some(ps) = pstate.as_mut() {
+                            ps.note_drained(tid, now);
+                        }
                         let lat = spec.route.len() as f64 * self.config.hop_latency
                             + self.config.recv_overhead;
                         q.push(now + lat, Event::Delivered(tid));
@@ -449,6 +482,9 @@ impl Simulator {
                         while i < flows.active.len() {
                             if flows.active[i].remaining <= BYTE_EPS {
                                 let f = flows.complete_at(i);
+                                if let Some(ps) = pstate.as_mut() {
+                                    ps.note_drained(f.tid, now);
+                                }
                                 let spec = &specs[f.tid as usize];
                                 leveler.note_leave(f.tid, &spec.route);
                                 let lat = spec.route.len() as f64 * self.config.hop_latency
@@ -512,6 +548,13 @@ impl Simulator {
                     if let Some(o) = obs.as_deref_mut() {
                         o.fault_events += 1;
                     }
+                    // Start indices into the observer's stall/resume logs:
+                    // everything the repartition below appends belongs to
+                    // this fault epoch's re-level record.
+                    let (s0, r0) = match obs.as_deref_mut() {
+                        Some(o) => (o.stalls.len(), o.resumes.len()),
+                        None => (0, 0),
+                    };
                     // Re-partition running vs. stalled flows under the new
                     // health state, preserving arrival order (determinism).
                     let mut i = 0;
@@ -537,6 +580,15 @@ impl Simulator {
                         } else {
                             i += 1;
                         }
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        let stalled = o.stalls[s0..].iter().map(|&(_, t)| t).collect();
+                        let resumed = o.resumes[r0..].iter().map(|&(_, t)| t).collect();
+                        o.fault_re_levels.push(FaultReLevel {
+                            time: now,
+                            stalled,
+                            resumed,
+                        });
                     }
                     rates_dirty = true;
                 }
@@ -578,6 +630,11 @@ impl Simulator {
                         &self.config,
                         &mut rates_scratch,
                     );
+                    if let Some(ps) = pstate.as_mut() {
+                        for f in &flows.active {
+                            ps.note_binding(f.tid, now, leveler.binding_of(f.tid));
+                        }
+                    }
                     let mut next_done = f64::INFINITY;
                     for f in &flows.active {
                         let eta = now + (f.remaining.max(0.0) / f.rate);
@@ -623,15 +680,19 @@ impl Simulator {
             o.waterfill_incremental_runs += leveler.incremental_runs;
         }
         let makespan = delivery_time.iter().copied().fold(0.0, f64::max);
+        let stall_time = flows.into_stall_time(now);
+        let profile =
+            pstate.map(|ps| ps.finish(&delivery_time, &flow_start_time, &stall_time, now));
         SimReport {
             delivery_time,
             flow_start_time,
-            stall_time: flows.into_stall_time(now),
+            stall_time,
             status,
             makespan,
             end_time: now,
             total_bytes: graph.total_bytes(),
             resource_bytes,
+            profile,
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod fault;
 pub mod graph;
 pub mod obs;
+pub mod profile;
 pub mod stats;
 pub mod trace;
 pub mod waterfill;
@@ -39,7 +40,8 @@ pub use config::SimConfig;
 pub use engine::{SimOptions, SimReport, Simulator, SolverMode, TransferStatus, DEFAULT_FULL_FRACTION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use graph::{ResourceId, TransferGraph, TransferId, TransferSpec};
-pub use obs::{HeatmapSample, LinkHeatmap, SimObserver};
+pub use obs::{FaultReLevel, HeatmapSample, LinkHeatmap, SimObserver};
+pub use profile::{Binding, SimProfile, TransferTimeProfile};
 pub use stats::{
     active_fraction, activity_timeline, node_traffic, stragglers, try_active_fraction,
     try_utilization, utilization, windowed_throughput, StatsError, Utilization,

@@ -68,6 +68,20 @@ impl LinkHeatmap {
     }
 }
 
+/// One fault-epoch re-level: a fault event applied and the transfers it
+/// froze or thawed, keyed on simulated time so traces and profiles can
+/// cross-reference the exact epoch. Faults that only changed capacity
+/// (degrades) produce an entry with empty id lists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReLevel {
+    /// Simulated time the fault event applied.
+    pub time: f64,
+    /// Transfers frozen by this event's re-partition.
+    pub stalled: Vec<u32>,
+    /// Transfers resumed by this event's re-partition.
+    pub resumed: Vec<u32>,
+}
+
 /// Collected engine events for one observed run. Counters accumulate, so
 /// one observer can be threaded through several runs (e.g. the attempts
 /// of a resilient retry loop).
@@ -88,6 +102,9 @@ pub struct SimObserver {
     pub events_processed: u64,
     /// Fault events applied from the plan.
     pub fault_events: u64,
+    /// Per-fault-event re-level records with the transfer ids each event
+    /// stalled/resumed (one entry per applied fault event, in order).
+    pub fault_re_levels: Vec<FaultReLevel>,
     /// `(time, transfer)` pairs for flows frozen by a fault — either
     /// caught mid-flight by a re-partition or born stalled.
     pub stalls: Vec<(f64, u32)>,

@@ -14,6 +14,10 @@ use crate::graph::ResourceId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Per-flow binding code reported by [`Waterfill::bindings`] when the
+/// flow's own rate cap (its private virtual resource) fixed its rate.
+pub const CAP_BINDING: u32 = u32::MAX;
+
 /// One flow's demand: its route and rate cap.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowDemand<'a> {
@@ -35,6 +39,7 @@ pub struct Waterfill {
     flows_on: Vec<Vec<u32>>,
     touched: Vec<u32>,
     heap: BinaryHeap<Reverse<HeapEntry>>,
+    binding: Vec<u32>,
 }
 
 impl Waterfill {
@@ -49,7 +54,18 @@ impl Waterfill {
             flows_on: (0..num_resources).map(|_| Vec::new()).collect(),
             touched: Vec::new(),
             heap: BinaryHeap::new(),
+            binding: Vec::new(),
         }
+    }
+
+    /// Per-flow binding resource of the most recent compute: for each
+    /// flow (same indexing as the demand slice), the real resource whose
+    /// residual fixed its rate, or [`CAP_BINDING`] when its own rate cap
+    /// bound first. The popped bottleneck in progressive filling *is*
+    /// the max-min binding resource, so this falls out of the solve for
+    /// free.
+    pub fn bindings(&self) -> &[u32] {
+        &self.binding
     }
 
     fn ensure_capacity(&mut self, total: usize) {
@@ -109,6 +125,8 @@ impl Waterfill {
         );
         rates.clear();
         rates.resize(flows.len(), 0.0);
+        self.binding.clear();
+        self.binding.resize(flows.len(), CAP_BINDING);
         if flows.is_empty() {
             return;
         }
@@ -195,6 +213,7 @@ impl Waterfill {
                 fixed[fi] = true;
                 unfixed -= 1;
                 rates[fi] = s;
+                self.binding[fi] = if ri < nr { ri as u32 } else { CAP_BINDING };
                 let private = nr + fi;
                 let resources = flows[fi]
                     .route
@@ -360,6 +379,44 @@ mod tests {
         for (u, c) in used.iter().zip(&caps) {
             assert!(u <= &(c * (1.0 + 1e-6)), "capacity exceeded: {u} > {c}");
         }
+    }
+
+    #[test]
+    fn bindings_name_the_fixing_resource() {
+        let mut wf = Waterfill::new(2);
+        // Textbook max-min (see classic_three_link_max_min): the long
+        // flow and short1 are fixed by link 1, short0 by link 0.
+        let long = rid(&[0, 1]);
+        let short0 = rid(&[0]);
+        let short1 = rid(&[1]);
+        let demands = [
+            FlowDemand { route: &long, cap: 100.0 },
+            FlowDemand { route: &short0, cap: 100.0 },
+            FlowDemand { route: &short1, cap: 100.0 },
+        ];
+        let mut rates = Vec::new();
+        wf.compute(&demands, &[10.0, 4.0], &mut rates);
+        assert_eq!(wf.bindings(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn bindings_report_cap_limited_flows() {
+        let mut wf = Waterfill::new(1);
+        let route = rid(&[0]);
+        let demands = [
+            FlowDemand { route: &route, cap: 2.0 },
+            FlowDemand { route: &route, cap: 100.0 },
+        ];
+        let mut rates = Vec::new();
+        wf.compute(&demands, &[10.0], &mut rates);
+        // Flow 0's private cap (share 2) pops before the link (share 5):
+        // flow 0 is cap-bound, flow 1 link-bound.
+        assert_eq!(wf.bindings(), &[CAP_BINDING, 0]);
+        // Empty routes have only the private cap resource.
+        let empty = rid(&[]);
+        let demands = [FlowDemand { route: &empty, cap: 7.0 }];
+        wf.compute(&demands, &[10.0], &mut rates);
+        assert_eq!(wf.bindings(), &[CAP_BINDING]);
     }
 
     #[test]

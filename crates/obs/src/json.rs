@@ -1,10 +1,13 @@
-//! Minimal JSON utilities: string escaping for the serializers and a
-//! syntax validator for the artifacts they emit.
+//! Minimal JSON utilities: string escaping for the serializers, a
+//! syntax validator, and a small value-tree parser for the artifacts
+//! they emit.
 //!
 //! The workspace vendors no serde; the emitters in this crate build
-//! JSON by construction, and [`validate`] gives tests and the
-//! `obs_report` tool an independent check that what was written actually
-//! parses (RFC 8259 grammar — structure only, no value model).
+//! JSON by construction, [`validate`] gives tests and the `obs_report`
+//! tool an independent check that what was written actually parses
+//! (RFC 8259 grammar), and [`parse`] returns a [`Value`] tree so
+//! artifact readers (profile diffing, regression checks) can consume
+//! their own output without a dependency.
 
 /// Escape `s` as a JSON string literal, double quotes included.
 pub fn escape(s: &str) -> String {
@@ -25,20 +28,90 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Check that `input` is one well-formed JSON value. Returns the byte
-/// offset and a short description on failure.
-pub fn validate(input: &str) -> Result<(), String> {
+/// A parsed JSON value. Object members keep document order (the
+/// emitters in this crate write sorted keys, so order is meaningful and
+/// round-trips).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers parse as `f64` (the only numeric type the
+    /// workspace emits). Rust's parser is correctly rounded, and the
+    /// emitters use shortest-round-trip formatting, so bit patterns
+    /// survive a write/read cycle.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (first match in document order).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `input` as one well-formed JSON value. Returns the byte offset
+/// and a short description on failure.
+pub fn parse(input: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
     };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing data after the top-level value"));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Check that `input` is one well-formed JSON value. Returns the byte
+/// offset and a short description on failure.
+pub fn validate(input: &str) -> Result<(), String> {
+    parse(input).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -70,14 +143,14 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Value::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
@@ -92,88 +165,173 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            members.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
                             self.pos += 1;
                         }
                         Some(b'u') => {
                             self.pos += 1;
+                            let mut code: u32 = 0;
                             for _ in 0..4 {
                                 match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    Some(c) if c.is_ascii_hexdigit() => {
+                                        code = code * 16 + (c as char).to_digit(16).unwrap();
+                                        self.pos += 1;
+                                    }
                                     _ => return Err(self.err("bad \\u escape")),
                                 }
                             }
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].first() == Some(&b'\\')
+                                    && self.bytes[self.pos + 1..].first() == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let mut low: u32 = 0;
+                                    for _ in 0..4 {
+                                        match self.peek() {
+                                            Some(c) if c.is_ascii_hexdigit() => {
+                                                low = low * 16
+                                                    + (c as char).to_digit(16).unwrap();
+                                                self.pos += 1;
+                                            }
+                                            _ => return Err(self.err("bad \\u escape")),
+                                        }
+                                    }
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
                         }
                         _ => return Err(self.err("bad escape")),
                     }
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
-                Some(_) => self.pos += 1,
+                Some(_) => {
+                    // Advance one whole UTF-8 scalar (input is &str, so
+                    // boundaries are valid by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| (b & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -202,7 +360,10 @@ impl Parser<'_> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -235,5 +396,43 @@ mod tests {
         let s = escape("a\"b\\c\n\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\n\\u0001\"");
         validate(&s).unwrap();
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"a": [1, -2.5e1], "b": "x\ty", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_f64(), Some(1.0));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(-25.0));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ty"));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_escapes_and_floats() {
+        let original = "a\"b\\c\nd\u{1}e";
+        let v = parse(&escape(original)).unwrap();
+        assert_eq!(v.as_str(), Some(original));
+        // Shortest-round-trip emission parses back to the same bits.
+        for f in [0.1f64, 1.0 / 3.0, 1e-300, 123456789.123456] {
+            let v = parse(&format!("{f:?}")).unwrap();
+            assert_eq!(v.as_f64().unwrap().to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs() {
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(parse("\"\\ud83d\"").is_err(), "unpaired high surrogate");
+        assert!(parse("\"\\ude00\"").is_err(), "unpaired low surrogate");
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
     }
 }

@@ -32,7 +32,9 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{ProfileArtifact, RunProfile, TransferProfile, PROFILE_VERSION};
 pub use trace::Recorder;

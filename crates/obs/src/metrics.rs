@@ -143,6 +143,60 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.0.buckets.iter().map(|s| s.sum()).sum()
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation within the bucket containing the target rank — the
+    /// standard estimator for log-spaced latency buckets. See
+    /// [`quantile_from_buckets`] for the exact semantics and edge cases.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.0.bounds, &self.counts(), q)
+    }
+}
+
+/// Quantile estimate over fixed-bucket histogram data: find the bucket
+/// containing rank `q · count` and interpolate linearly inside it.
+///
+/// Buckets span `(prev bound, bound]`, with the first bucket anchored at
+/// 0 (observations are assumed non-negative, which is how the workspace
+/// uses histograms — sizes, durations, counts). The overflow bucket has
+/// no upper edge, so any quantile landing there reports the last finite
+/// bound (a lower bound on the true value). An empty histogram reports
+/// `NaN`.
+///
+/// Everything is computed from integer counts and the fixed bounds, so
+/// the estimate is deterministic for a given snapshot.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let target = q * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c;
+        if (next as f64) >= target {
+            if i >= bounds.len() {
+                // Overflow bucket: no upper edge to interpolate toward.
+                return bounds.last().copied().unwrap_or(f64::NAN);
+            }
+            let lo = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let hi = bounds[i];
+            let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+            return lo + frac * (hi - lo);
+        }
+        cum = next;
+    }
+    bounds.last().copied().unwrap_or(f64::NAN)
 }
 
 /// A registry of named instruments. Lookups take a mutex on a
@@ -340,6 +394,16 @@ impl MetricsSnapshot {
                 ));
             }
             rows.push(("histogram", format!("{name}.count"), counts.iter().sum::<u64>().to_string()));
+            // Quantile estimates (deterministic: derived from the bounds
+            // and integer counts alone). `pNN` sorts after `bucketNN`
+            // and `count`, keeping the row order lexical.
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                rows.push((
+                    "histogram",
+                    format!("{name}.{label}"),
+                    fmt_f64(quantile_from_buckets(bounds, counts, q)),
+                ));
+            }
         }
         rows.sort();
         rows
@@ -396,11 +460,24 @@ impl MetricsSnapshot {
             first = false;
             let b: Vec<String> = bounds.iter().map(|v| fmt_f64(*v)).collect();
             let c: Vec<String> = counts.iter().map(|v| v.to_string()).collect();
+            // JSON has no NaN/inf literal: empty-histogram quantiles
+            // serialize as null.
+            let fmt_q = |q: f64| {
+                let v = quantile_from_buckets(bounds, counts, q);
+                if v.is_finite() {
+                    fmt_f64(v)
+                } else {
+                    "null".to_string()
+                }
+            };
             out.push_str(&format!(
-                "\n    {}: {{\"bounds\": [{}], \"counts\": [{}]}}",
+                "\n    {}: {{\"bounds\": [{}], \"counts\": [{}], \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
                 crate::json::escape(name),
                 b.join(", "),
-                c.join(", ")
+                c.join(", "),
+                fmt_q(0.5),
+                fmt_q(0.95),
+                fmt_q(0.99),
             ));
         }
         out.push_str("\n  }\n}\n");
@@ -448,6 +525,72 @@ mod tests {
         }
         assert_eq!(h.counts(), vec![2, 1, 1]);
         assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let reg = MetricsRegistry::new();
+        // Log-spaced bounds, 100 observations spread 50/30/20 across
+        // (0,1], (1,10], (10,100].
+        let h = reg.histogram("q", &[1.0, 10.0, 100.0]);
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..30 {
+            h.observe(5.0);
+        }
+        for _ in 0..20 {
+            h.observe(50.0);
+        }
+        // p50: rank 50 is exactly the top of bucket 0 -> 1.0.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12, "{}", h.quantile(0.5));
+        // p80: rank 80 tops bucket 1 -> 10.0.
+        assert!((h.quantile(0.8) - 10.0).abs() < 1e-12);
+        // p90: halfway through bucket 2 -> 10 + 0.5*90 = 55.
+        assert!((h.quantile(0.9) - 55.0).abs() < 1e-9, "{}", h.quantile(0.9));
+        // Extremes.
+        assert!((h.quantile(0.0) - 0.0).abs() < 1e-12);
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("e", &[1.0, 10.0]);
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantile");
+        // Everything in the overflow bucket: report the last finite bound.
+        h.observe(1e9);
+        assert_eq!(h.quantile(0.5), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range_q() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h", &[1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn snapshot_includes_quantile_rows() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0]);
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        let snap = reg.snapshot();
+        let csv = snap.to_csv();
+        assert!(csv.contains("histogram,lat.p50,0.5"), "{csv}");
+        assert!(csv.contains("histogram,lat.p95,0.95"), "{csv}");
+        assert!(csv.contains("histogram,lat.p99,0.99"), "{csv}");
+        let json = snap.to_json();
+        assert!(json.contains("\"p50\": 0.5"), "{json}");
+        crate::json::validate(&json).unwrap();
+        // Empty histograms must still emit valid JSON (null quantiles).
+        let reg2 = MetricsRegistry::new();
+        reg2.histogram("empty", &[1.0]);
+        let j = reg2.snapshot().to_json();
+        assert!(j.contains("\"p50\": null"), "{j}");
+        crate::json::validate(&j).unwrap();
     }
 
     #[test]

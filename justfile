@@ -1,7 +1,7 @@
 # Common development tasks. Run with `just <target>`.
 
 # Build, test, and lint — the gate every change must pass.
-verify: obs bench-smoke
+verify: obs profile bench-smoke
     cargo build --release
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
@@ -22,6 +22,23 @@ obs:
     cargo run --release -p bgq-bench --bin obs_report -- --check \
         results/obs/fig5.metrics.csv results/obs/fig5.trace.json
 
+# Bottleneck-attribution gate: profile fig6's contended coupling, print
+# the "why was this slow" report, validate the artifact's accounting,
+# and diff it against the committed baseline. After an intentional
+# engine/planner change, re-baseline with `UPDATE_GOLDEN=1 just profile`.
+profile:
+    cargo run --release -p bgq-bench --bin profile -- fig6 \
+        --profile-out results/obs/profile_fig6.json
+    cargo run --release -p bgq-bench --bin obs_report -- --check \
+        results/obs/profile_fig6.json
+    @if [ -n "${UPDATE_GOLDEN:-}" ]; then \
+        cp results/obs/profile_fig6.json results/BENCH_profile_fig6.json; \
+        echo "re-baselined results/BENCH_profile_fig6.json"; \
+    else \
+        cargo run --release -p bgq-bench --bin obs_report -- --check --diff \
+            results/obs/profile_fig6.json results/BENCH_profile_fig6.json; \
+    fi
+
 # Full figure reproduction into results/ (coffee-break sized).
 reproduce:
     cargo run --release -p bgq-bench --bin reproduce -- --coarse --max-cores 16384 --threads 4 --timing
@@ -40,8 +57,10 @@ cover:
         cargo test --workspace -- --nocapture; \
     fi
 
-# Regenerate the golden reference CSVs (and the pinned fig5 trace) after
-# an intentional model change.
+# Regenerate the golden reference CSVs (and the pinned fig5 trace and
+# profile) after an intentional model change.
 update-golden:
     UPDATE_GOLDEN=1 cargo test --release --test golden
     UPDATE_GOLDEN=1 cargo test --release --test observability
+    UPDATE_GOLDEN=1 cargo test --release --test profile_golden
+    UPDATE_GOLDEN=1 just profile
