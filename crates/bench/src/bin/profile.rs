@@ -31,7 +31,9 @@ fn main() {
 
     let cache = PlanCache::new();
     let Some((art, rec)) = profile_for_with_trace(figure, &cache) else {
-        eprintln!("no representative profile for {figure} (try fig5, fig6, fig7, fig10, resilience)");
+        eprintln!(
+            "no representative profile for {figure} (try fig5, fig6, fig7, fig10, resilience, exchange)"
+        );
         std::process::exit(2);
     };
     if let Err(e) = art.validate() {

@@ -21,6 +21,7 @@
 //! output is bit-identical for any thread count.
 
 pub mod args;
+pub mod exchange;
 pub mod experiments;
 pub mod io;
 pub mod micro;
@@ -32,6 +33,10 @@ pub mod scale;
 pub mod table;
 
 pub use args::{ArgError, BenchArgs};
+pub use exchange::{
+    exchange_json, exchange_nodes, exchange_patterns, exchange_point, AlgoResult,
+    ExchangePattern, ExchangePoint, ExchangeSweep, EXCHANGE_SEED,
+};
 pub use io::{
     ablation_policy_point, ablation_policy_point_with, fig10_point, fig10_point_with,
     fig10_scales, fig11_point, fig11_point_with, fig11_scales, policy_point_with, run_io_point,
@@ -46,9 +51,9 @@ pub use obs::{
     write_artifact, TRACE_BYTES,
 };
 pub use profile::{
-    binding_trace, coupling_profile, fig6_profile, io_profile, pair_profile, profile_for,
-    profile_for_with_trace, render_report, resilience_profile, resource_label, run_profile,
-    run_profiled,
+    binding_trace, coupling_profile, exchange_profile, fig6_profile, io_profile, pair_profile,
+    profile_for, profile_for_with_trace, render_report, resilience_profile, resource_label,
+    run_profile, run_profiled,
 };
 pub use resilience::{
     default_scenarios, fault_plan_for, resilience_point, Resilience, ResiliencePoint, Scenario,

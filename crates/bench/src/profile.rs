@@ -262,6 +262,30 @@ pub fn resilience_profile(cache: &PlanCache, bytes: u64) -> ProfileArtifact {
     }
 }
 
+/// Per-algorithm neighborhood-exchange profile: the disjoint-heavy
+/// pattern on a 512-node partition lowered under each
+/// [`ExchangeAlgorithm`](sdm_core::ExchangeAlgorithm), one profiled run
+/// per algorithm. The `direct` run's blame concentrates on the pairs'
+/// own routes (each flow bound by its protocol cap on a disjoint
+/// pattern); the `proxy_multipath` run shows the same payload spread
+/// over the ledger's claimed links.
+pub fn exchange_profile(cache: &PlanCache, bytes: u64) -> ProfileArtifact {
+    let machine = cache.machine(standard_shape(512).unwrap(), &SimConfig::default());
+    let map = crate::exchange::ExchangePattern::DisjointHeavy { bytes }
+        .build(512, crate::exchange::EXCHANGE_SEED);
+    let runs = sdm_core::ExchangeAlgorithm::ALL
+        .into_iter()
+        .map(|alg| {
+            let ex = sdm_core::NeighborhoodExchange::with_mover(cache.mover(&machine));
+            let mut prog = Program::new(&machine);
+            ex.plan(&mut prog, &map, alg);
+            let report = run_profiled(&prog, &FaultPlan::new());
+            run_profile(alg.name(), &machine, &prog, &report)
+        })
+        .collect();
+    ProfileArtifact { runs }
+}
+
 /// The representative profile for a figure by name, or `None` for
 /// figures without a simulated execution. Mirrors
 /// [`crate::obs::trace_for`] scenario-for-scenario.
@@ -272,6 +296,7 @@ pub fn profile_for(figure: &str, cache: &PlanCache) -> Option<ProfileArtifact> {
         "fig7" => Some(pair_profile(cache, 512, TRACE_BYTES)),
         "fig10" | "fig11" => Some(io_profile(cache, 2048)),
         "resilience" => Some(resilience_profile(cache, TRACE_BYTES)),
+        "exchange" => Some(exchange_profile(cache, TRACE_BYTES)),
         _ => None,
     }
 }
@@ -489,6 +514,58 @@ mod tests {
             "multipath blame too narrow: {:?}",
             multi.link_blame()
         );
+    }
+
+    #[test]
+    fn exchange_profile_blames_each_algorithm_separately() {
+        // One run per exchange algorithm over the same disjoint-heavy
+        // map, so the per-algorithm link blame is directly comparable.
+        let cache = PlanCache::new();
+        let art = exchange_profile(&cache, TRACE_BYTES);
+        art.validate().expect("profile accounting must balance");
+
+        let direct = art.run("direct").unwrap();
+        let consensus = art.run("consensus").unwrap();
+        let multi = art.run("proxy_multipath").unwrap();
+
+        // Antipodal puts collide pairwise on the A-dimension wrap links
+        // (rank i and i+256 route through the same torus line), so the
+        // direct run's blame concentrates on a handful of named links —
+        // exactly the congestion the ledger routes around.
+        assert_eq!(direct.transfers.len(), 8);
+        let blame = direct.link_blame();
+        assert!(
+            !blame.is_empty() && blame.len() < direct.transfers.len(),
+            "blame should concentrate on shared links: {blame:?}"
+        );
+        assert!(blame[0].0.contains(':'), "blame names torus links: {blame:?}");
+        for t in &direct.transfers {
+            assert!(
+                t.network_limited() > 0.9 * t.elapsed(),
+                "direct puts are network-bound: {t:?}"
+            );
+        }
+
+        // Consensus adds one discovery gate per participant on top of
+        // the same payload puts.
+        assert!(consensus.transfers.len() > direct.transfers.len());
+
+        // Multipath splits pairs across proxies: each multipath pair
+        // becomes many two-leg chunk chains, so the run has far more
+        // transfers than pairs. (The critical path can still end on a
+        // dependency-free direct put — the pairs the ledger left alone
+        // finish last once the contended wrap links are relieved.)
+        assert!(multi.transfers.len() > 2 * direct.transfers.len());
+        assert!(!multi.critical_path().is_empty());
+        assert!(multi.slowest_segment().is_some());
+
+        // The per-transfer decomposition sums to elapsed in every run
+        // (validate checked the tolerance; spot-check the totals here).
+        for run in &art.runs {
+            for t in &run.transfers {
+                assert!((t.accounted() - t.elapsed()).abs() <= 1e-6 * t.elapsed().max(1.0));
+            }
+        }
     }
 
     #[test]

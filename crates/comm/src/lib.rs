@@ -8,9 +8,12 @@
 //! * [`Program`] — a builder for one-sided puts, I/O forwards and
 //!   synchronization edges, executable on the simulator;
 //! * [`collectives`] — analytic collective cost models plus scheduled
-//!   (message-accurate) barrier/broadcast/reduce algorithms.
+//!   (message-accurate) barrier/broadcast/reduce algorithms;
+//! * [`exchange`] — sparse neighborhood exchange send maps and modeled
+//!   consensus discovery (batch routing lives upstream in `sdm-core`).
 
 pub mod collectives;
+pub mod exchange;
 pub mod health;
 pub mod machine;
 pub mod program;
@@ -21,6 +24,7 @@ pub use collectives::{
     binomial_bcast, binomial_reduce, dissemination_barrier, CollectiveModel,
     CONTROL_MSG_BYTES,
 };
+pub use exchange::{consensus_discovery, Discovery, SparseSendMap};
 pub use health::HealthMask;
 pub use machine::{FsParams, Machine, MachineError};
 pub use program::{

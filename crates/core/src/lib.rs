@@ -19,7 +19,11 @@
 //! * [`io_move`] — the sparse collective-write plan (nodes → aggregators →
 //!   bridge nodes → I/O nodes);
 //! * [`planner`] — the [`SparseMover`] facade that makes the
-//!   direct-vs-multipath decision automatically.
+//!   direct-vs-multipath decision automatically;
+//! * [`exchange`] — the many-pair consumer: [`NeighborhoodExchange`]
+//!   lowers a sparse send map under direct / consensus / proxy-multipath
+//!   algorithms, with a link-claim ledger keeping concurrent pairs'
+//!   proxy paths disjoint across the whole batch.
 //!
 //! ## Quick example
 //!
@@ -46,6 +50,7 @@
 pub mod aggregator;
 pub mod analysis;
 pub mod error;
+pub mod exchange;
 pub mod io_move;
 pub mod model;
 pub mod multipath;
@@ -62,6 +67,10 @@ pub use aggregator::{
     DEFAULT_MIN_AGG_BYTES,
 };
 pub use error::SdmError;
+pub use exchange::{
+    ExchangeAlgorithm, ExchangePlan, LinkClaimLedger, NeighborhoodExchange, PairRoute,
+    PlannedPair,
+};
 pub use io_move::{
     plan_topology_aware_read, plan_topology_aware_write, route_chunks_to_ions, IoMoveOptions,
     IoMovePlan,
@@ -81,6 +90,7 @@ pub use planner::{
 };
 pub use proxy::{
     displace_group, find_proxies, find_proxies_avoiding, find_proxies_avoiding_with_stats,
-    find_proxy_groups, find_proxy_groups_global, proxy_groups_along, ProxyGroup, ProxyPath,
+    find_proxies_constrained, find_proxy_groups, find_proxy_groups_global, proxy_groups_along,
+    ProxyGroup, ProxyPath,
     ProxySearchConfig, ProxySelection, RejectReason, SearchStats,
 };

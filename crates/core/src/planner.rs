@@ -14,11 +14,11 @@ use crate::multipath::{
     TransferHandle,
 };
 use crate::proxy::{
-    find_proxies_avoiding_with_stats, find_proxy_groups, ProxySearchConfig, SearchStats,
+    find_proxies_constrained, find_proxy_groups, ProxySearchConfig, SearchStats,
 };
 use bgq_comm::{HealthMask, Machine, Program};
 use bgq_obs::MetricsRegistry;
-use bgq_torus::NodeId;
+use bgq_torus::{LinkId, NodeId};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -82,6 +82,11 @@ pub struct PlanRequest<'h> {
     /// assumed-healthy network and can never fail with
     /// [`SdmError::EndpointDown`].
     pub health: Option<&'h HealthMask>,
+    /// Links some other transfer of the same batch already claimed (a
+    /// neighborhood exchange's link-claim ledger): proxy paths must be
+    /// link-disjoint from them. Unlike dead links, a claimed link never
+    /// forces multipath — the hardware is healthy, merely spoken for.
+    pub avoid: Option<&'h HashSet<LinkId>>,
     /// Routing policy; defaults to [`PlanPolicy::Auto`].
     pub policy: PlanPolicy,
 }
@@ -94,6 +99,7 @@ impl<'h> PlanRequest<'h> {
             dst,
             bytes,
             health: None,
+            avoid: None,
             policy: PlanPolicy::Auto,
         }
     }
@@ -111,6 +117,13 @@ impl<'h> PlanRequest<'h> {
         self.policy = policy;
         self
     }
+
+    /// Keep proxy paths link-disjoint from `claimed` (a batch planner's
+    /// link-claim ledger).
+    pub fn avoid(mut self, claimed: &'h HashSet<LinkId>) -> Self {
+        self.avoid = Some(claimed);
+        self
+    }
 }
 
 /// What [`SparseMover::plan`] produced: the executable plan plus the
@@ -121,6 +134,11 @@ pub struct PlanOutcome {
     pub handle: TransferHandle,
     /// The routing decision that was made.
     pub decision: Decision,
+    /// Every torus link the plan sends payload over: the deterministic
+    /// direct route for a [`Decision::Direct`] plan, the union of both
+    /// segments of every proxy path for a multipath plan. This is what a
+    /// batch planner feeds back into its link-claim ledger.
+    pub links: Vec<LinkId>,
 }
 
 /// The sparse data movement planner for one machine.
@@ -269,6 +287,7 @@ impl<'m> SparseMover<'m> {
             dst,
             bytes,
             health,
+            avoid,
             policy,
         } = req;
         if let Some(h) = health {
@@ -281,20 +300,19 @@ impl<'m> SparseMover<'m> {
                 return Err(SdmError::EndpointDown(dst));
             }
         }
+        let shape = self.machine.shape();
+        let zone = self.machine.zone();
+        let direct_links = || bgq_torus::route(shape, src, dst, zone).links;
         if policy == PlanPolicy::DirectOnly {
             self.count("planner.direct_requested");
             return Ok(PlanOutcome {
                 handle: direct_gated(prog, src, dst, bytes, &self.multipath),
                 decision: Decision::Direct(DirectReason::Requested),
+                links: direct_links(),
             });
         }
-        let shape = self.machine.shape();
-        let zone = self.machine.zone();
         let direct_dead = match health {
-            Some(h) => bgq_torus::route(shape, src, dst, zone)
-                .links
-                .iter()
-                .any(|l| h.dead_links.contains(l)),
+            Some(h) => direct_links().iter().any(|l| h.dead_links.contains(l)),
             None => false,
         };
         if direct_dead {
@@ -318,12 +336,14 @@ impl<'m> SparseMover<'m> {
                 &healthy
             }
         };
-        let (sel, stats) = find_proxies_avoiding_with_stats(
+        let no_claims = HashSet::new();
+        let (sel, stats) = find_proxies_constrained(
             shape,
             zone,
             src,
             dst,
             &HashSet::new(),
+            avoid.unwrap_or(&no_claims),
             search,
             mask,
         );
@@ -333,6 +353,7 @@ impl<'m> SparseMover<'m> {
             return Ok(PlanOutcome {
                 handle: direct_gated(prog, src, dst, bytes, &self.multipath),
                 decision: Decision::Direct(DirectReason::NoDisjointPaths),
+                links: direct_links(),
             });
         }
         let k = sel.len() as u32;
@@ -341,16 +362,19 @@ impl<'m> SparseMover<'m> {
             return Ok(PlanOutcome {
                 handle: direct_gated(prog, src, dst, bytes, &self.multipath),
                 decision: Decision::Direct(DirectReason::BelowThreshold),
+                links: direct_links(),
             });
         }
         if direct_dead {
             self.count("planner.multipath_forced");
         }
         self.count("planner.multipath_chosen");
+        let links: Vec<LinkId> = sel.paths.iter().flat_map(|p| p.links()).collect();
         let handle = plan_via_proxies(prog, src, dst, bytes, &sel.proxies(), &self.multipath);
         Ok(PlanOutcome {
             handle,
             decision: Decision::Multipath { paths: k },
+            links,
         })
     }
 
@@ -754,6 +778,68 @@ mod tests {
             snap.counter("planner.proxy.dead_link_skips").unwrap_or(0) >= 1,
             "the dead direct link must surface in search stats"
         );
+    }
+
+    #[test]
+    fn plan_reports_the_links_it_uses() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        // Direct plan: exactly the deterministic route.
+        let mut p = Program::new(&m);
+        let out = mover
+            .plan(&mut p, PlanRequest::new(NodeId(0), NodeId(127), 4096))
+            .unwrap();
+        assert_eq!(
+            out.links,
+            bgq_torus::route(m.shape(), NodeId(0), NodeId(127), m.zone()).links
+        );
+        // Multipath plan: the union of the proxy-path segments, none of
+        // which may repeat (paths are pairwise link-disjoint).
+        let mut p2 = Program::new(&m);
+        let out = mover
+            .plan(&mut p2, PlanRequest::new(NodeId(0), NodeId(127), 32 << 20))
+            .unwrap();
+        assert!(matches!(out.decision, Decision::Multipath { .. }));
+        let unique: HashSet<_> = out.links.iter().copied().collect();
+        assert_eq!(unique.len(), out.links.len(), "multipath links must be disjoint");
+    }
+
+    #[test]
+    fn avoided_links_keep_proxy_paths_clear() {
+        let m = machine();
+        let mover = SparseMover::new(&m);
+        let bytes = 32u64 << 20;
+        let mut p1 = Program::new(&m);
+        let free = mover
+            .plan(&mut p1, PlanRequest::new(NodeId(0), NodeId(127), bytes))
+            .unwrap();
+        assert!(matches!(free.decision, Decision::Multipath { .. }));
+        // Claim the first path's worth of links; the re-plan must dodge
+        // every one of them (or legitimately fall back to direct).
+        let claimed: HashSet<bgq_torus::LinkId> = free.links.iter().take(4).copied().collect();
+        let mut p2 = Program::new(&m);
+        let out = mover
+            .plan(
+                &mut p2,
+                PlanRequest::new(NodeId(0), NodeId(127), bytes).avoid(&claimed),
+            )
+            .unwrap();
+        if matches!(out.decision, Decision::Multipath { .. }) {
+            for l in &out.links {
+                assert!(!claimed.contains(l), "plan crossed claimed link {l}");
+            }
+        }
+        // An empty claim set changes nothing.
+        let none = HashSet::new();
+        let mut p3 = Program::new(&m);
+        let same = mover
+            .plan(
+                &mut p3,
+                PlanRequest::new(NodeId(0), NodeId(127), bytes).avoid(&none),
+            )
+            .unwrap();
+        assert_eq!(same.decision, free.decision);
+        assert_eq!(same.links, free.links);
     }
 
     #[test]

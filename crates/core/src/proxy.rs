@@ -53,6 +53,11 @@ impl ProxyPath {
     pub fn hops(&self) -> usize {
         self.to_proxy.hops() + self.from_proxy.hops()
     }
+
+    /// Every directed link the path crosses, both segments in order.
+    pub fn links(&self) -> impl Iterator<Item = bgq_torus::LinkId> + '_ {
+        path_links(self)
+    }
 }
 
 /// Result of a per-pair proxy search.
@@ -228,6 +233,38 @@ pub fn find_proxies_avoiding_with_stats(
     cfg: &ProxySearchConfig,
     health: &HealthMask,
 ) -> (ProxySelection, SearchStats) {
+    find_proxies_constrained(
+        shape,
+        zone,
+        src,
+        dst,
+        forbidden,
+        &HashSet::new(),
+        cfg,
+        health,
+    )
+}
+
+/// [`find_proxies_avoiding_with_stats`] under an additional set of
+/// *claimed* links: links some other transfer of the same batch already
+/// owns (a neighborhood exchange's link-claim ledger). Claimed links seed
+/// the disjointness set, so every accepted path is link-disjoint not only
+/// from its siblings but from everything the caller claimed — candidates
+/// crossing them are rejected as ordinary overlap ([`RejectReason::LinkInUse`]),
+/// not as dead links, because the hardware is fine, it is merely spoken
+/// for. With an empty `claimed` set this is exactly
+/// [`find_proxies_avoiding_with_stats`].
+#[allow(clippy::too_many_arguments)] // mirrors the unconstrained search plus the ledger
+pub fn find_proxies_constrained(
+    shape: &Shape,
+    zone: Zone,
+    src: NodeId,
+    dst: NodeId,
+    forbidden: &HashSet<NodeId>,
+    claimed: &HashSet<bgq_torus::LinkId>,
+    cfg: &ProxySearchConfig,
+    health: &HealthMask,
+) -> (ProxySelection, SearchStats) {
     let src_c = shape.coord(src);
     let dst_c = shape.coord(dst);
     let hops = shape.hops_per_dim(src_c, dst_c);
@@ -239,7 +276,7 @@ pub fn find_proxies_avoiding_with_stats(
     dims.sort_by_key(|d| std::cmp::Reverse(hops[d.index()]));
 
     let dead: HashSet<bgq_torus::LinkId> = health.dead_links.iter().copied().collect();
-    let mut used: HashSet<bgq_torus::LinkId> = HashSet::new();
+    let mut used: HashSet<bgq_torus::LinkId> = claimed.clone();
     let mut paths: Vec<ProxyPath> = Vec::new();
     let mut stats = SearchStats::default();
 
@@ -817,6 +854,57 @@ mod tests {
             stats.dead_link_skips >= 1,
             "killing a whole selected path must surface as dead-link skips: {stats:?}"
         );
+    }
+
+    #[test]
+    fn constrained_search_respects_claimed_links() {
+        let shape = standard_shape(128).unwrap();
+        let free = find_proxies(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &cfg(),
+        );
+        assert!(free.len() >= 4);
+        // Claim every link of the first two selected paths, as a batch
+        // planner's ledger would.
+        let claimed: HashSet<bgq_torus::LinkId> = free.paths[..2]
+            .iter()
+            .flat_map(|p| p.links())
+            .collect();
+        let (sel, stats) = find_proxies_constrained(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &claimed,
+            &cfg(),
+            &HealthMask::healthy(),
+        );
+        for p in &sel.paths {
+            for l in p.links() {
+                assert!(!claimed.contains(&l), "path crosses claimed link {l}");
+            }
+        }
+        // Claimed links surface as overlap pressure, never as dead links.
+        assert_eq!(stats.dead_link_skips, 0);
+        assert!(stats.rejected_overlap >= 1, "{stats:?}");
+
+        // An empty claim set reproduces the unconstrained search exactly.
+        let (unclaimed, _) = find_proxies_constrained(
+            &shape,
+            Zone::Z2,
+            NodeId(0),
+            NodeId(127),
+            &HashSet::new(),
+            &HashSet::new(),
+            &cfg(),
+            &HealthMask::healthy(),
+        );
+        assert_eq!(unclaimed.proxies(), free.proxies());
     }
 
     #[test]

@@ -172,10 +172,30 @@ impl SimReport {
         } else {
             if self.makespan.is_infinite() {
                 let undelivered = self.status.len() - self.num_delivered();
+                // Name the worst offender, not just the totals: the one
+                // undelivered transfer with the most accrued stall is
+                // where debugging a wedged exchange starts.
+                let worst = self
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s != TransferStatus::Delivered)
+                    .max_by(|&(i, _), &(j, _)| {
+                        self.stall_time[i]
+                            .partial_cmp(&self.stall_time[j])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| (i, self.stall_time[i]));
+                let offender = match worst {
+                    Some((i, stall)) => {
+                        format!("; top offender: transfer #{i} stalled {stall:.3}s")
+                    }
+                    None => String::new(),
+                };
                 eprintln!(
                     "warning: aggregate_throughput is 0 — {undelivered} of {} \
                      transfers undelivered after {:.3}s cumulative stall \
-                     (end_time {:.3}s)",
+                     (end_time {:.3}s){offender}",
                     self.status.len(),
                     self.total_stall_time(),
                     self.end_time,

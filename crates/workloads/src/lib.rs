@@ -30,7 +30,7 @@ pub use coupled::{coupling_bytes, coupling_pairs, partition_modules, ModuleLayou
 pub use hacc::{hacc_sizes, hacc_workload, total_write_bytes, writer_range, PARTICLE_BYTES};
 pub use nodes::{coalesce_to_nodes, nonzero_nodes};
 pub use patterns::{
-    dense_sizes, pareto_sizes, sparsity_fraction, uniform_sizes, Histogram, ParetoParams,
-    DEFAULT_MAX_BYTES,
+    dense_sizes, disjoint_heavy_pairs, pareto_sizes, sparse_pairs, sparsity_fraction,
+    uniform_sizes, Histogram, ParetoParams, DEFAULT_MAX_BYTES,
 };
 pub use roi::{centered_roi_sizes, random_regions, region_sizes, Region};

@@ -121,6 +121,57 @@ pub fn sparsity_fraction(sizes: &[u64], dense_per_rank: u64) -> f64 {
     total as f64 / (dense_per_rank * sizes.len() as u64) as f64
 }
 
+/// A sparse neighborhood pattern for an exchange: every rank sends to
+/// `fanout` distinct pseudo-random peers, sizes uniform in
+/// `[1, max_bytes]`. Seed-deterministic; peers are emitted in draw order
+/// so the triple list is reproducible byte for byte.
+pub fn sparse_pairs(
+    num_ranks: u32,
+    fanout: u32,
+    max_bytes: u64,
+    seed: u64,
+) -> Vec<(u32, u32, u64)> {
+    assert!(max_bytes > 0, "messages need at least one byte");
+    assert!(
+        fanout < num_ranks || num_ranks == 0,
+        "fanout {fanout} needs at least {} ranks",
+        fanout + 1
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(num_ranks as usize * fanout as usize);
+    for src in 0..num_ranks {
+        let mut peers: Vec<u32> = Vec::with_capacity(fanout as usize);
+        while (peers.len() as u32) < fanout {
+            let dst = rng.gen_range(0..num_ranks);
+            if dst != src && !peers.contains(&dst) {
+                peers.push(dst);
+            }
+        }
+        for dst in peers {
+            pairs.push((src, dst, rng.gen_range(1..=max_bytes)));
+        }
+    }
+    pairs
+}
+
+/// The disjoint-heavy pattern of the exchange benchmark: antipodal pairs
+/// `i → i + num_ranks/2` at every `stride`-th source, all carrying
+/// `bytes`. The deterministic routes of distinct pairs are link-disjoint
+/// (parallel translates across the torus), so this is the pattern where
+/// batch proxy multipath has the most spare capacity to win with.
+pub fn disjoint_heavy_pairs(num_ranks: u32, stride: u32, bytes: u64) -> Vec<(u32, u32, u64)> {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        num_ranks.is_multiple_of(2),
+        "antipodal pairs need an even rank count"
+    );
+    let half = num_ranks / 2;
+    (0..half)
+        .step_by(stride as usize)
+        .map(|i| (i, i + half, bytes))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +267,37 @@ mod tests {
         assert_eq!(Histogram::build(&[], 10).total(), 0);
         assert_eq!(sparsity_fraction(&[], 100), 0.0);
         assert!(uniform_sizes(0, 100, 1).is_empty());
+        assert!(sparse_pairs(0, 0, 100, 1).is_empty());
+    }
+
+    #[test]
+    fn sparse_pairs_respect_fanout_and_avoid_self_sends() {
+        let pairs = sparse_pairs(64, 4, 1 << 20, 9);
+        assert_eq!(pairs.len(), 64 * 4);
+        for src in 0..64u32 {
+            let peers: Vec<u32> = pairs
+                .iter()
+                .filter(|&&(s, _, _)| s == src)
+                .map(|&(_, d, _)| d)
+                .collect();
+            assert_eq!(peers.len(), 4);
+            let dedup: std::collections::HashSet<u32> = peers.iter().copied().collect();
+            assert_eq!(dedup.len(), 4, "peers must be distinct");
+            assert!(!dedup.contains(&src), "no self-sends");
+        }
+        assert!(pairs.iter().all(|&(_, _, b)| (1..=1 << 20).contains(&b)));
+        assert_eq!(pairs, sparse_pairs(64, 4, 1 << 20, 9));
+        assert_ne!(pairs, sparse_pairs(64, 4, 1 << 20, 10));
+    }
+
+    #[test]
+    fn disjoint_heavy_is_antipodal_at_the_stride() {
+        let pairs = disjoint_heavy_pairs(4096, 256, 32 << 20);
+        assert_eq!(pairs.len(), 8);
+        for &(s, d, b) in &pairs {
+            assert_eq!(d, s + 2048);
+            assert_eq!(b, 32 << 20);
+            assert_eq!(s % 256, 0);
+        }
     }
 }

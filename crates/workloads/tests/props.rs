@@ -1,0 +1,109 @@
+//! Property-based tests for the §V.B pattern generators.
+
+use bgq_workloads::{
+    disjoint_heavy_pairs, pareto_sizes, sparse_pairs, sparsity_fraction, uniform_sizes,
+    ParetoParams, DEFAULT_MAX_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed ⇒ same sizes, for any rank count and ceiling.
+    #[test]
+    fn uniform_is_seed_deterministic(
+        ranks in 0u32..2048,
+        max_bytes in 1u64..(64 << 20),
+        seed in any::<u64>(),
+    ) {
+        let a = uniform_sizes(ranks, max_bytes, seed);
+        let b = uniform_sizes(ranks, max_bytes, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), ranks as usize);
+        prop_assert!(a.iter().all(|&s| s <= max_bytes));
+    }
+
+    /// Same seed ⇒ same Pareto draw, and the clip ceiling holds.
+    #[test]
+    fn pareto_is_seed_deterministic(
+        ranks in 0u32..2048,
+        zero_fraction in 0.0f64..1.0,
+        alpha in 0.5f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let params = ParetoParams { zero_fraction, alpha, ..ParetoParams::default() };
+        let a = pareto_sizes(ranks, &params, seed);
+        let b = pareto_sizes(ranks, &params, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&s| s <= params.max_bytes));
+    }
+
+    /// A different seed changes *something* once there are enough ranks
+    /// for a collision to be astronomically unlikely.
+    #[test]
+    fn distinct_seeds_diverge(seed in any::<u64>()) {
+        let a = uniform_sizes(256, DEFAULT_MAX_BYTES, seed);
+        let b = uniform_sizes(256, DEFAULT_MAX_BYTES, seed.wrapping_add(1));
+        prop_assert_ne!(a, b);
+    }
+
+    /// `sparsity_fraction` is monotone non-increasing in the dense
+    /// threshold: calling the dense baseline bigger can only make any
+    /// fixed pattern look sparser.
+    #[test]
+    fn sparsity_fraction_is_monotone_in_dense_threshold(
+        sizes in proptest::collection::vec(0u64..(8 << 20), 1..256),
+        dense_lo in 1u64..(8 << 20),
+        bump in 1u64..(8 << 20),
+    ) {
+        let dense_hi = dense_lo + bump;
+        let lo = sparsity_fraction(&sizes, dense_lo);
+        let hi = sparsity_fraction(&sizes, dense_hi);
+        prop_assert!(hi <= lo, "fraction rose from {lo} to {hi} as dense grew");
+    }
+
+    /// The exchange pair generator is seed-deterministic and well-formed:
+    /// exact fanout per source, no self-sends, no duplicate peers, sizes
+    /// in range.
+    #[test]
+    fn sparse_pairs_are_seed_deterministic_and_well_formed(
+        ranks in 2u32..256,
+        fanout_frac in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let fanout = fanout_frac.min(ranks - 1);
+        let a = sparse_pairs(ranks, fanout, DEFAULT_MAX_BYTES, seed);
+        prop_assert_eq!(&a, &sparse_pairs(ranks, fanout, DEFAULT_MAX_BYTES, seed));
+        prop_assert_eq!(a.len(), (ranks * fanout) as usize);
+        for src in 0..ranks {
+            let peers: Vec<u32> = a.iter()
+                .filter(|&&(s, _, _)| s == src)
+                .map(|&(_, d, _)| d)
+                .collect();
+            prop_assert_eq!(peers.len(), fanout as usize);
+            let mut dedup = peers.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), peers.len());
+            prop_assert!(!peers.contains(&src));
+        }
+        prop_assert!(a.iter().all(|&(_, _, b)| (1..=DEFAULT_MAX_BYTES).contains(&b)));
+    }
+
+    /// The disjoint-heavy pattern is antipodal by construction.
+    #[test]
+    fn disjoint_heavy_pairs_are_antipodal(
+        half in 1u32..4096,
+        stride in 1u32..512,
+        bytes in 1u64..(64 << 20),
+    ) {
+        let ranks = half * 2;
+        let pairs = disjoint_heavy_pairs(ranks, stride, bytes);
+        prop_assert_eq!(pairs.len(), half.div_ceil(stride) as usize);
+        for &(s, d, b) in &pairs {
+            prop_assert_eq!(d, s + half);
+            prop_assert_eq!(b, bytes);
+            prop_assert_eq!(s % stride, 0);
+        }
+    }
+}

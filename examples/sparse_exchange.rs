@@ -1,0 +1,59 @@
+//! Sparse neighborhood exchange: one send map, all three lowering
+//! algorithms side by side on a simulated 512-node BG/Q partition.
+//!
+//! The map mixes the two regimes the sweep studies: a handful of
+//! antipodal 32 MiB pairs (where the link-claim ledger finds
+//! link-disjoint proxy paths and batch multipath wins) and a sprinkle
+//! of small same-source sends (where message combining folds riders
+//! into a carrier's wire put instead).
+//!
+//! Run with: `cargo run --release --example sparse_exchange`
+
+use bgq_sparsemove::prelude::*;
+
+fn main() {
+    let machine = Machine::new(standard_shape(512).unwrap(), SimConfig::default());
+
+    let mut map = SparseSendMap::new();
+    // Antipodal heavy pairs — contend pairwise on the wrap links when
+    // routed direct.
+    for i in 0..4u32 {
+        map.insert(NodeId(i * 64), NodeId(i * 64 + 256), 32 << 20);
+    }
+    // Small fan-out from one source — combining candidates.
+    for peer in [1u32, 2, 3, 9] {
+        map.insert(NodeId(0), NodeId(peer), 16 << 10);
+    }
+
+    println!(
+        "exchange of {} pairs / {} MiB on a {} torus\n",
+        map.len(),
+        map.total_bytes() >> 20,
+        machine.shape()
+    );
+    println!(
+        "{:>16}  {:>10}  {:>10}  {:>5}  {:>9}  {:>8}",
+        "algorithm", "GB/s", "makespan", "mp", "combined", "claimed"
+    );
+
+    for alg in ExchangeAlgorithm::ALL {
+        let exchange = NeighborhoodExchange::new(&machine);
+        let mut prog = Program::new(&machine);
+        let plan = exchange.plan(&mut prog, &map, alg);
+        let report = prog.run();
+        assert!(report.all_delivered());
+        println!(
+            "{:>16}  {:>10.3}  {:>8.2}ms  {:>5}  {:>9}  {:>8}",
+            alg.name(),
+            plan.aggregate_throughput(&report) / 1e9,
+            plan.completed_at(&report) * 1e3,
+            plan.pairs_multipath(),
+            plan.pairs_combined(),
+            plan.ledger.len(),
+        );
+    }
+
+    // Delivery is identical no matter the algorithm — only the clock
+    // differs. (The differential test layer pins this byte-for-byte.)
+    println!("\nevery pair's payload arrives in full under all three algorithms");
+}

@@ -1,7 +1,7 @@
 # Common development tasks. Run with `just <target>`.
 
 # Build, test, and lint — the gate every change must pass.
-verify: obs profile bench-smoke
+verify: obs profile bench-smoke exchange
     cargo build --release
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
@@ -39,6 +39,25 @@ profile:
             results/obs/profile_fig6.json results/BENCH_profile_fig6.json; \
     fi
 
+# Sparse-exchange gate: run the full sweep (the binary validates the
+# artifact and asserts the ≥1.5× multipath-vs-direct bar on the
+# disjoint-heavy pattern at 4,096 nodes), then byte-diff against the
+# committed baseline — the artifact is pure simulated time, so any diff
+# means the planner or simulator moved. Re-baseline an intentional
+# change with `UPDATE_GOLDEN=1 just exchange`. Coffee-break sized
+# (~40 min single-core; the 512-node slice is separately pinned as
+# tests/golden/exchange.csv for the quick path).
+exchange:
+    cargo run --release -p bgq-bench --bin exchange -- \
+        --out results/obs/exchange.json
+    @if [ -n "${UPDATE_GOLDEN:-}" ]; then \
+        cp results/obs/exchange.json results/BENCH_exchange.json; \
+        echo "re-baselined results/BENCH_exchange.json"; \
+    else \
+        cmp results/obs/exchange.json results/BENCH_exchange.json && \
+            echo "results/BENCH_exchange.json reproduced byte-exact"; \
+    fi
+
 # Full figure reproduction into results/ (coffee-break sized).
 reproduce:
     cargo run --release -p bgq-bench --bin reproduce -- --coarse --max-cores 16384 --threads 4 --timing
@@ -64,3 +83,4 @@ update-golden:
     UPDATE_GOLDEN=1 cargo test --release --test observability
     UPDATE_GOLDEN=1 cargo test --release --test profile_golden
     UPDATE_GOLDEN=1 just profile
+    UPDATE_GOLDEN=1 just exchange

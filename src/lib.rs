@@ -53,7 +53,7 @@ pub use sdm_core as core;
 
 /// The most commonly used items across the stack.
 pub mod prelude {
-    pub use bgq_comm::{CollectiveModel, Machine, Program, TransferHandle};
+    pub use bgq_comm::{CollectiveModel, Machine, Program, SparseSendMap, TransferHandle};
     pub use bgq_iosys::{plan_collective_write, CollectiveIoConfig};
     pub use bgq_netsim::{SimConfig, SimReport, Simulator, TransferGraph, TransferSpec};
     pub use bgq_torus::{
@@ -65,8 +65,9 @@ pub mod prelude {
         Histogram, ParetoParams,
     };
     pub use sdm_core::{
-        AggregatorTable, AssignPolicy, CostModel, Decision, IoMoveOptions, MultipathOptions,
-        PlanOutcome, PlanPolicy, PlanRequest, ProxySearchConfig, SparseMover,
+        AggregatorTable, AssignPolicy, CostModel, Decision, ExchangeAlgorithm, ExchangePlan,
+        IoMoveOptions, LinkClaimLedger, MultipathOptions, NeighborhoodExchange, PlanOutcome,
+        PlanPolicy, PlanRequest, ProxySearchConfig, SparseMover,
     };
 }
 
@@ -83,5 +84,17 @@ mod tests {
             .plan(&mut prog, PlanRequest::new(NodeId(0), NodeId(5), 4096))
             .unwrap();
         assert!(out.handle.throughput(&prog.run()) > 0.0);
+    }
+
+    #[test]
+    fn umbrella_prelude_covers_the_exchange() {
+        let machine = Machine::new(standard_shape(128).unwrap(), SimConfig::default());
+        let map = SparseSendMap::from_rank_pairs(&[(0, 64, 1 << 20), (3, 67, 4 << 10)]);
+        let exchange = NeighborhoodExchange::new(&machine);
+        let mut prog = Program::new(&machine);
+        let plan = exchange.plan(&mut prog, &map, ExchangeAlgorithm::ProxyMultipath);
+        let report = prog.run();
+        assert!(report.all_delivered());
+        assert!(plan.aggregate_throughput(&report) > 0.0);
     }
 }

@@ -12,7 +12,7 @@
 
 use bgq_bench::experiments::{Fig10, Fig5, Fig7};
 use bgq_bench::resilience::Resilience;
-use bgq_bench::{fig10_scales, Experiment, ExperimentSession};
+use bgq_bench::{fig10_scales, Experiment, ExperimentSession, ExchangeSweep};
 use std::path::Path;
 
 /// Run `exp` sequentially and return its CSV. One thread keeps the runs
@@ -74,6 +74,14 @@ fn fig10_matches_golden() {
             scales: fig10_scales(2048),
         }),
     );
+}
+
+#[test]
+fn exchange_matches_golden() {
+    // The 512-node slice of the exchange sweep: all four patterns, all
+    // three algorithms per row. Pins the send-map generators, the
+    // link-claim ledger, combining, and consensus discovery in one CSV.
+    check("exchange", &csv_of(&ExchangeSweep::new(512)));
 }
 
 #[test]

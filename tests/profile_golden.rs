@@ -64,6 +64,51 @@ fn fig5_profile_matches_golden_across_thread_counts() {
 }
 
 #[test]
+fn exchange_profile_matches_golden_and_accounts_to_elapsed() {
+    // One profiled run per exchange algorithm over the disjoint-heavy
+    // map. `validate()` is the accounting pin: every transfer's
+    // cap/link-blame/serialization decomposition must sum to its
+    // elapsed time, so the per-algorithm link blame is trustworthy.
+    let art = bgq_bench::exchange_profile(ExperimentSession::new(1).cache(), 32 << 20);
+    art.validate().expect("exchange profile accounting must balance");
+    for run in &art.runs {
+        let blamed: f64 = run.link_blame().iter().map(|(_, s)| s).sum();
+        let elapsed: f64 = run.transfers.iter().map(|t| t.elapsed()).sum();
+        assert!(
+            blamed <= elapsed + 1e-9,
+            "{}: link blame {blamed} exceeds summed elapsed {elapsed}",
+            run.name
+        );
+        assert!(
+            (blamed - run.total_network_limited()).abs() <= 1e-6 * elapsed.max(1.0),
+            "{}: link blame must equal network-limited time",
+            run.name
+        );
+    }
+    let json = art.to_json();
+    bgq_obs::json::validate(&json).expect("profile must be valid JSON");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/profile_exchange.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &json).expect("rewrite golden exchange profile");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --test profile_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json, expected,
+        "exchange profile diverged from tests/golden/profile_exchange.json; \
+         regenerate with UPDATE_GOLDEN=1 cargo test --test profile_golden \
+         if the planner or simulator changed intentionally"
+    );
+}
+
+#[test]
 fn golden_profile_diffs_clean_against_itself() {
     // The `--diff` baseline workflow rests on a parsed artifact comparing
     // clean against its own bytes.
