@@ -18,7 +18,10 @@
 //!   representative run of the figure;
 //! * `--profile-out PATH` — write a bottleneck-attribution profile
 //!   (deterministic JSON, see [`bgq_obs::profile`]) of the same
-//!   representative run.
+//!   representative run;
+//! * `--manifest-out PATH` — write a single-scenario run-ledger
+//!   manifest (deterministic JSON, see [`bgq_obs::ledger`]) of the same
+//!   representative scenario, for sentinel comparison.
 //!
 //! Arguments that don't start with `--` are collected into
 //! [`BenchArgs::positional`] for binaries that take operands
@@ -46,7 +49,7 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::UnknownFlag(flag) => write!(
                 f,
-                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N, --observe, --metrics-out PATH, --trace-out PATH, --profile-out PATH)"
+                "unknown flag {flag} (supported: --csv, --max-cores N, --coarse, --threads N, --timing, --seed N, --observe, --metrics-out PATH, --trace-out PATH, --profile-out PATH, --manifest-out PATH)"
             ),
             ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             ArgError::BadValue { flag, value } => {
@@ -81,6 +84,8 @@ pub struct BenchArgs {
     pub trace_out: Option<String>,
     /// Write a bottleneck-attribution profile (JSON) here after the run.
     pub profile_out: Option<String>,
+    /// Write a run-ledger manifest (JSON) here after the run.
+    pub manifest_out: Option<String>,
     /// Non-flag operands, in order.
     pub positional: Vec<String>,
 }
@@ -100,6 +105,7 @@ impl Default for BenchArgs {
             metrics_out: None,
             trace_out: None,
             profile_out: None,
+            manifest_out: None,
             positional: Vec::new(),
         }
     }
@@ -150,6 +156,10 @@ impl BenchArgs {
                 "--profile-out" => {
                     out.profile_out =
                         Some(it.next().ok_or(ArgError::MissingValue("--profile-out"))?);
+                }
+                "--manifest-out" => {
+                    out.manifest_out =
+                        Some(it.next().ok_or(ArgError::MissingValue("--manifest-out"))?);
                 }
                 other if other.starts_with("--") => {
                     return Err(ArgError::UnknownFlag(other.to_string()));
@@ -281,6 +291,17 @@ mod tests {
         assert!(
             !c.observe_enabled(),
             "profiles run their own scenario; no session registry needed"
+        );
+
+        let d = parse(&["--manifest-out", "m.json"]).unwrap();
+        assert_eq!(d.manifest_out.as_deref(), Some("m.json"));
+        assert!(
+            !d.observe_enabled(),
+            "manifests run their own scenario; no session registry needed"
+        );
+        assert_eq!(
+            parse(&["--manifest-out"]),
+            Err(ArgError::MissingValue("--manifest-out"))
         );
 
         assert_eq!(

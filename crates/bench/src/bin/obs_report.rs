@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p bgq-bench --bin obs_report -- [--check] FILE...
 //! cargo run --release -p bgq-bench --bin obs_report -- [--check] --diff NEW BASELINE
+//! cargo run --release -p bgq-bench --bin obs_report -- [--check] --cross MANIFEST PROFILE SCENARIO
 //! ```
 //!
 //! Files ending in `.csv` are treated as metrics snapshots
@@ -14,18 +15,28 @@
 //! carry the `"bgq_profile"` schema key, in which case they are parsed
 //! as bottleneck-attribution profiles, their accounting invariants
 //! checked ([`bgq_obs::profile::RunProfile::validate`]), and their
-//! per-run bottleneck summary printed.
+//! per-run bottleneck summary printed — or the `"bgq_manifest"` key,
+//! which makes them run-ledger manifests: parsed, structurally
+//! validated, round-trip checked, and summarized per scenario.
 //!
 //! `--diff NEW BASELINE` compares two profile artifacts (makespan
 //! drift, transfer-count changes, bottleneck-link set changes, >1%
 //! per-link blame drift) — the regression gate `just profile` runs
 //! against the committed `results/BENCH_*.json` baselines.
 //!
+//! `--cross MANIFEST PROFILE SCENARIO` cross-checks a ledger manifest
+//! against a profile artifact of the same scenario: every
+//! `profile.<run>.end_time` metric in the manifest must agree with the
+//! profile's run end time to within 0.1% — a louder disagreement means
+//! the two artifacts describe different executions and is reported as
+//! a problem, never silently passed.
+//!
 //! With `--check`, any problem (unparsable JSON, unsorted/duplicate
-//! CSV, undelivered transfers, profile diffs) exits non-zero — the
-//! mode `just obs` / `just profile` and CI use.
+//! CSV, undelivered transfers, profile diffs, manifest/profile
+//! disagreement) exits non-zero — the mode `just obs` / `just profile`
+//! / `just sentinel` and CI use.
 
-use bgq_obs::ProfileArtifact;
+use bgq_obs::{ProfileArtifact, RunManifest};
 use std::process::ExitCode;
 
 /// One validated artifact: its path and the problems found in it.
@@ -34,10 +45,37 @@ struct Checked {
     problems: Vec<String>,
 }
 
+/// Split one `kind,name,value` row, honoring RFC-4180 quoting on the
+/// name field (labels may legitimately contain commas or quotes; the
+/// snapshot serializer quotes them). Returns the *unescaped* name.
+fn split_metrics_row(line: &str) -> Option<(&str, String, &str)> {
+    let (kind, rest) = line.split_once(',')?;
+    if let Some(quoted) = rest.strip_prefix('"') {
+        // Scan for the closing quote, un-doubling inner quote pairs.
+        let mut name = String::new();
+        let mut chars = quoted.char_indices();
+        while let Some((i, c)) = chars.next() {
+            if c != '"' {
+                name.push(c);
+            } else if let Some((_, '"')) = chars.next() {
+                name.push('"');
+            } else {
+                // Closing quote: the value follows after a comma.
+                let value = quoted.get(i + 1..)?.strip_prefix(',')?;
+                return Some((kind, name, value));
+            }
+        }
+        None
+    } else {
+        let (name, value) = rest.split_once(',')?;
+        Some((kind, name.to_string(), value))
+    }
+}
+
 fn check_metrics_csv(path: &str, contents: &str) -> Checked {
     let mut problems = Vec::new();
     // (kind, name) per row, in file order — must be strictly increasing.
-    let mut keys: Vec<(&str, &str)> = Vec::new();
+    let mut keys: Vec<(String, String)> = Vec::new();
     let mut undelivered: u64 = 0;
     let mut planner = Vec::new();
     let mut cache = Vec::new();
@@ -46,23 +84,20 @@ fn check_metrics_csv(path: &str, contents: &str) -> Checked {
         if line.is_empty() || (lineno == 0 && line == "kind,name,value") {
             continue;
         }
-        let mut fields = line.splitn(3, ',');
-        let (Some(kind), Some(name), Some(value)) =
-            (fields.next(), fields.next(), fields.next())
-        else {
+        let Some((kind, name, value)) = split_metrics_row(line) else {
             problems.push(format!("line {}: not kind,name,value: {line:?}", lineno + 1));
             continue;
         };
-        keys.push((kind, name));
+        keys.push((kind.to_string(), name.clone()));
         if name == "comm.transfers_undelivered" {
             undelivered = value.parse().unwrap_or(u64::MAX);
         }
         if name.starts_with("planner.") {
-            planner.push((name, value));
+            planner.push((name, value.to_string()));
         } else if name.starts_with("cache.") {
-            cache.push((name, value));
+            cache.push((name, value.to_string()));
         } else if name.starts_with("comm.") {
-            comm.push((name, value));
+            comm.push((name, value.to_string()));
         }
     }
     for w in keys.windows(2) {
@@ -128,6 +163,108 @@ fn check_profile_json(path: &str, contents: &str) -> Checked {
     }
 }
 
+fn check_manifest_json(path: &str, contents: &str) -> Checked {
+    let mut problems = Vec::new();
+    match RunManifest::from_json(contents) {
+        Ok(m) => {
+            if m.to_json() != contents {
+                problems.push(
+                    "manifest does not re-serialize byte-exactly (hand-edited?)".to_string(),
+                );
+            }
+            println!(
+                "{path}: manifest {} with {} scenario(s)",
+                m.fingerprint(),
+                m.scenarios.len()
+            );
+            for s in &m.scenarios {
+                println!(
+                    "  {}: {} config key(s), {} metric(s), {} blame entr(ies)",
+                    s.name,
+                    s.config.len(),
+                    s.metrics.len(),
+                    s.blame.len()
+                );
+                // Warn but don't fail: some scenarios deliberately run
+                // a doomed route (resilience cuts the direct path), and
+                // the sentinel diff already pins undelivered counts
+                // exactly — growth there is a REGRESSED verdict.
+                for (name, v) in &s.metrics {
+                    if name.contains("undelivered") && *v > 0.0 {
+                        println!("  *** WARNING: {}: {name} = {v} ***", s.name);
+                    }
+                }
+            }
+        }
+        Err(e) => problems.push(format!("invalid manifest: {e}")),
+    }
+    Checked {
+        path: path.to_string(),
+        problems,
+    }
+}
+
+/// Maximum relative disagreement between a manifest's recorded
+/// `profile.<run>.end_time` and the profile artifact's own run end time
+/// before the pair is reported as inconsistent.
+const CROSS_TOLERANCE: f64 = 1e-3;
+
+/// Cross-check a manifest scenario against a profile artifact of the
+/// same scenario: the two are written by different code paths, and a
+/// total-elapsed disagreement beyond 0.1% means they describe different
+/// executions — report it loudly instead of silently passing.
+fn cross_check(
+    manifest_path: &str,
+    profile_path: &str,
+    scenario: &str,
+) -> Result<Vec<String>, String> {
+    let manifest = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("{manifest_path}: {e}"))
+        .and_then(|c| RunManifest::from_json(&c).map_err(|e| format!("{manifest_path}: {e}")))?;
+    let profile = std::fs::read_to_string(profile_path)
+        .map_err(|e| format!("{profile_path}: {e}"))
+        .and_then(|c| ProfileArtifact::from_json(&c).map_err(|e| format!("{profile_path}: {e}")))?;
+    let s = manifest
+        .scenario(scenario)
+        .ok_or_else(|| format!("{manifest_path}: no scenario {scenario:?}"))?;
+
+    let mut problems = Vec::new();
+    let mut compared = 0;
+    for run in &profile.runs {
+        let key = format!("profile.{}.end_time", run.name);
+        let Some(recorded) = s.metric_value(&key) else {
+            problems.push(format!(
+                "scenario {scenario}: manifest has no {key} but the profile has run {:?}",
+                run.name
+            ));
+            continue;
+        };
+        compared += 1;
+        let disagreement = if recorded.is_finite() && run.end_time.is_finite() {
+            (recorded - run.end_time).abs() / run.end_time.abs().max(f64::MIN_POSITIVE)
+        } else if recorded.is_finite() != run.end_time.is_finite() {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        if disagreement > CROSS_TOLERANCE {
+            problems.push(format!(
+                "scenario {scenario}, run {}: manifest says elapsed {recorded:?} but the \
+                 profile says {:?} ({:.3}% apart — these artifacts describe different runs)",
+                run.name,
+                run.end_time,
+                disagreement * 100.0
+            ));
+        }
+    }
+    if compared == 0 && problems.is_empty() {
+        problems.push(format!(
+            "scenario {scenario}: nothing to cross-check (no profile.* end_time metrics)"
+        ));
+    }
+    Ok(problems)
+}
+
 fn diff_profiles(new_path: &str, base_path: &str) -> Result<Vec<String>, String> {
     let read = |p: &str| -> Result<ProfileArtifact, String> {
         let contents = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
@@ -155,13 +292,44 @@ fn check_trace_json(path: &str, contents: &str) -> Checked {
 fn main() -> ExitCode {
     let mut strict = false;
     let mut diff = false;
+    let mut cross = false;
     let mut paths = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--check" => strict = true,
             "--diff" => diff = true,
+            "--cross" => cross = true,
             _ => paths.push(arg),
         }
+    }
+
+    if cross {
+        if paths.len() != 3 {
+            eprintln!("usage: obs_report [--check] --cross MANIFEST PROFILE SCENARIO");
+            return ExitCode::from(2);
+        }
+        let problems = match cross_check(&paths[0], &paths[1], &paths[2]) {
+            Ok(problems) => problems,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if problems.is_empty() {
+            println!(
+                "{} and {} agree on scenario {} (within 0.1%)",
+                paths[0], paths[1], paths[2]
+            );
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("PROBLEM: {p}");
+        }
+        return if strict {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     if diff {
@@ -193,7 +361,7 @@ fn main() -> ExitCode {
 
     if paths.is_empty() {
         eprintln!(
-            "usage: obs_report [--check] FILE...  (.csv = metrics, .json = trace or profile)"
+            "usage: obs_report [--check] FILE...  (.csv = metrics, .json = trace, profile or manifest)"
         );
         return ExitCode::from(2);
     }
@@ -210,6 +378,8 @@ fn main() -> ExitCode {
         };
         let checked = if contents.contains("\"bgq_profile\"") {
             check_profile_json(path, &contents)
+        } else if contents.contains("\"bgq_manifest\"") {
+            check_manifest_json(path, &contents)
         } else if path.ends_with(".json") {
             check_trace_json(path, &contents)
         } else {

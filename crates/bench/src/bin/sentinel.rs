@@ -1,0 +1,194 @@
+//! Run-ledger + regression sentinel: execute the ledger's scenario
+//! sweep, emit the manifest, track the run history, and compare against
+//! the committed baseline with profiler-attributed verdicts.
+//!
+//! ```text
+//! sentinel [--out PATH] [--baseline PATH] [--history PATH]
+//!          [--markdown-out PATH] [--degrade-links F]
+//!          [--update-baseline] [--no-history]
+//! ```
+//!
+//! The flow, in order:
+//!
+//! 1. run every ledger scenario (fig5/fig6/fig7/io/resilience/scale/
+//!    exchange) and assemble the [`RunManifest`];
+//! 2. self-check: the manifest validates and round-trips byte-exactly;
+//! 3. write it to `--out` (default `results/ledger/manifest.json`);
+//! 4. append a fingerprint-keyed entry to the history (default
+//!    `results/ledger/history.jsonl`) unless the last entry already has
+//!    this hash — an unchanged tree appends nothing, so the file stays
+//!    deterministic;
+//! 5. if the baseline (default `results/ledger/baseline.json`) exists,
+//!    diff against it: print the human report (and write the markdown
+//!    summary when asked), and **exit 1 on any REGRESSED verdict** with
+//!    the blame attribution naming the links that absorbed the lost
+//!    time. With `--update-baseline` the manifest is pinned as the new
+//!    baseline instead, and regressions don't fail the run.
+//!
+//! `--degrade-links F` multiplies the torus and I/O link bandwidths by
+//! `F` — the regression-injection knob: `--degrade-links 0.5` halves
+//! every link capacity, which must flip the exit code nonzero with
+//! verdicts naming the newly-binding links.
+//!
+//! Exit codes: 0 clean, 1 regression, 2 usage error.
+
+use bgq_bench::{history_line, run_ledger, write_artifact, LedgerOptions, PlanCache};
+use bgq_obs::{sentinel, RunManifest};
+use std::process::ExitCode;
+
+struct Cli {
+    out: String,
+    baseline: String,
+    history: Option<String>,
+    markdown_out: Option<String>,
+    degrade_links: f64,
+    update_baseline: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        out: "results/ledger/manifest.json".to_string(),
+        baseline: "results/ledger/baseline.json".to_string(),
+        history: Some("results/ledger/history.jsonl".to_string()),
+        markdown_out: None,
+        degrade_links: 1.0,
+        update_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => cli.out = value("--out", args.next())?,
+            "--baseline" => cli.baseline = value("--baseline", args.next())?,
+            "--history" => cli.history = Some(value("--history", args.next())?),
+            "--no-history" => cli.history = None,
+            "--markdown-out" => cli.markdown_out = Some(value("--markdown-out", args.next())?),
+            "--degrade-links" => {
+                let v = value("--degrade-links", args.next())?;
+                cli.degrade_links = v
+                    .parse()
+                    .map_err(|_| format!("--degrade-links needs a number, got {v:?}"))?;
+                if cli.degrade_links.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(format!("--degrade-links must be positive, got {v}"));
+                }
+            }
+            "--update-baseline" => cli.update_baseline = true,
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (supported: --out PATH, --baseline PATH, \
+                     --history PATH, --no-history, --markdown-out PATH, \
+                     --degrade-links F, --update-baseline)"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// Append `line` to the history unless its hash matches the last
+/// entry's — reruns of an unchanged tree leave the file untouched.
+fn append_history(path: &str, line: &str, hash: &str) -> std::io::Result<bool> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if let Some(last) = existing.lines().rev().find(|l| !l.trim().is_empty()) {
+        if last.contains(hash) {
+            return Ok(false);
+        }
+    }
+    write_artifact(path, &format!("{existing}{line}\n"))?;
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut opts = LedgerOptions::default();
+    if cli.degrade_links != 1.0 {
+        opts.sim.link_bandwidth *= cli.degrade_links;
+        opts.sim.io_link_bandwidth *= cli.degrade_links;
+        eprintln!(
+            "degrading links by {:.3}x: link {:.3e} B/s, io link {:.3e} B/s",
+            cli.degrade_links, opts.sim.link_bandwidth, opts.sim.io_link_bandwidth
+        );
+    }
+
+    eprintln!("running ledger scenarios...");
+    let cache = PlanCache::new();
+    // Wall-clock metrics never serialize, so drop them up front: the
+    // diff below must see exactly what the baseline file holds.
+    let manifest = run_ledger(&cache, &opts).without_wall();
+
+    // Self-check before anything touches disk: the artifact must
+    // round-trip byte-exactly, or the baseline workflow is unsound.
+    let js = manifest.to_json();
+    match RunManifest::from_json(&js) {
+        Ok(back) => assert_eq!(
+            back.to_json(),
+            js,
+            "manifest does not round-trip byte-exactly"
+        ),
+        Err(e) => panic!("manifest does not parse back: {e}"),
+    }
+
+    write_artifact(&cli.out, &js).unwrap_or_else(|e| panic!("write {}: {e}", cli.out));
+    let hash = manifest.fingerprint();
+    eprintln!("wrote {} (manifest {hash})", cli.out);
+
+    let baseline = match std::fs::read_to_string(&cli.baseline) {
+        Ok(contents) => match RunManifest::from_json(&contents) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("{}: invalid baseline: {e}", cli.baseline);
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => None,
+    };
+
+    let report = baseline
+        .as_ref()
+        .map(|b| sentinel::diff(&manifest, b));
+
+    if let Some(path) = &cli.history {
+        match append_history(path, &history_line(&manifest, report.as_ref()), &hash) {
+            Ok(true) => eprintln!("appended history entry to {path}"),
+            Ok(false) => eprintln!("history already ends with {hash}; not appending"),
+            Err(e) => panic!("write {path}: {e}"),
+        }
+    }
+
+    if cli.update_baseline {
+        write_artifact(&cli.baseline, &js)
+            .unwrap_or_else(|e| panic!("write {}: {e}", cli.baseline));
+        eprintln!("pinned {} as the new baseline", cli.baseline);
+    }
+
+    let Some(report) = report else {
+        eprintln!(
+            "no baseline at {}; run with --update-baseline to pin one",
+            cli.baseline
+        );
+        return ExitCode::SUCCESS;
+    };
+
+    print!("{}", report.render());
+    if let Some(path) = &cli.markdown_out {
+        write_artifact(path, &report.to_markdown())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if report.has_regressions() && !cli.update_baseline {
+        eprintln!("sentinel: PERFORMANCE REGRESSION detected (see attribution above)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

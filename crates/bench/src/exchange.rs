@@ -137,9 +137,20 @@ impl ExchangePoint {
 /// under each algorithm. Panics if any algorithm leaves payload
 /// undelivered — the exchange contract is all-or-nothing.
 pub fn exchange_point(cache: &PlanCache, nodes: u32, pattern: ExchangePattern) -> ExchangePoint {
+    exchange_point_with(cache, &SimConfig::default(), nodes, pattern)
+}
+
+/// [`exchange_point`] under an explicit simulator config — the
+/// run-ledger uses this to replay the sweep cell on a degraded machine.
+pub fn exchange_point_with(
+    cache: &PlanCache,
+    sim: &SimConfig,
+    nodes: u32,
+    pattern: ExchangePattern,
+) -> ExchangePoint {
     let shape = standard_shape(nodes)
         .unwrap_or_else(|| panic!("no standard {nodes}-node partition"));
-    let machine = cache.machine(shape, &SimConfig::default());
+    let machine = cache.machine(shape, sim);
     let map = pattern.build(nodes, EXCHANGE_SEED);
     let results = ExchangeAlgorithm::ALL
         .into_iter()

@@ -278,8 +278,9 @@ pub fn write_artifact(path: &str, contents: &str) -> std::io::Result<()> {
 
 /// Emit the artifacts a figure binary was asked for: the session's
 /// metrics snapshot (`--metrics-out`), the figure's representative
-/// trace (`--trace-out`) and its bottleneck-attribution profile
-/// (`--profile-out`). Call once, after the run.
+/// trace (`--trace-out`), its bottleneck-attribution profile
+/// (`--profile-out`) and its run-ledger manifest (`--manifest-out`).
+/// Call once, after the run.
 pub fn emit_artifacts(args: &crate::BenchArgs, session: &crate::ExperimentSession, figure: &str) {
     if let Some(path) = &args.metrics_out {
         let snap = session
@@ -309,6 +310,19 @@ pub fn emit_artifacts(args: &crate::BenchArgs, session: &crate::ExperimentSessio
                 eprintln!("wrote {path}");
             }
             None => eprintln!("no representative profile for {figure}; skipping {path}"),
+        }
+    }
+    if let Some(path) = &args.manifest_out {
+        match crate::sentinel::manifest_for(figure, session.cache()) {
+            Some(manifest) => {
+                manifest
+                    .validate()
+                    .unwrap_or_else(|e| panic!("manifest broken: {e}"));
+                write_artifact(path, &manifest.to_json())
+                    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                eprintln!("wrote {path}");
+            }
+            None => eprintln!("no representative manifest for {figure}; skipping {path}"),
         }
     }
 }

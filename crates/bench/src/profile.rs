@@ -114,7 +114,18 @@ pub fn run_profile(
 /// corner pair, one `direct` run and one 4-proxy `multipath` run —
 /// the profile twin of [`crate::obs::pair_trace`].
 pub fn pair_profile(cache: &PlanCache, nodes: u32, bytes: u64) -> ProfileArtifact {
-    let machine = cache.machine(standard_shape(nodes).unwrap(), &SimConfig::default());
+    pair_profile_with(cache, &SimConfig::default(), nodes, bytes)
+}
+
+/// [`pair_profile`] under an explicit simulator config — the run-ledger
+/// uses this to profile the same scenario on a degraded machine.
+pub fn pair_profile_with(
+    cache: &PlanCache,
+    sim: &SimConfig,
+    nodes: u32,
+    bytes: u64,
+) -> ProfileArtifact {
+    let machine = cache.machine(standard_shape(nodes).unwrap(), sim);
     let (src, dst) = (NodeId(0), NodeId(machine.num_nodes() - 1));
     let cfg = ProxySearchConfig {
         max_proxies: 4,
@@ -161,7 +172,18 @@ pub fn coupling_profile(
     pairs: u32,
     bytes: u64,
 ) -> ProfileArtifact {
-    let machine = cache.machine(standard_shape(nodes).unwrap(), &SimConfig::default());
+    coupling_profile_with(cache, &SimConfig::default(), nodes, pairs, bytes)
+}
+
+/// [`coupling_profile`] under an explicit simulator config.
+pub fn coupling_profile_with(
+    cache: &PlanCache,
+    sim: &SimConfig,
+    nodes: u32,
+    pairs: u32,
+    bytes: u64,
+) -> ProfileArtifact {
+    let machine = cache.machine(standard_shape(nodes).unwrap(), sim);
     let n = machine.shape().num_nodes();
     assert!(pairs >= 4 && pairs <= n / 4, "need 4..=n/4 coupling pairs");
     let sources: Vec<NodeId> = (0..pairs).map(NodeId).collect();
@@ -207,8 +229,13 @@ pub fn fig6_profile(cache: &PlanCache, bytes: u64) -> ProfileArtifact {
 /// nodes → aggregators → bridges → IONs), uniform 1 MB ranks — the
 /// profile twin of [`crate::obs::io_trace`].
 pub fn io_profile(cache: &PlanCache, cores: u32) -> ProfileArtifact {
+    io_profile_with(cache, &SimConfig::default(), cores)
+}
+
+/// [`io_profile`] under an explicit simulator config.
+pub fn io_profile_with(cache: &PlanCache, sim: &SimConfig, cores: u32) -> ProfileArtifact {
     let shape = shape_for_cores(cores).expect("standard partition");
-    let machine = cache.machine(shape, &SimConfig::default());
+    let machine = cache.machine(shape, sim);
     let map = RankMap::default_map(shape, CORES_PER_NODE);
     let rank_sizes = vec![1u64 << 20; cores as usize];
     let data = bgq_workloads::coalesce_to_nodes(&map, &rank_sizes);
@@ -235,7 +262,16 @@ pub fn io_profile(cache: &PlanCache, cores: u32) -> ProfileArtifact {
 /// the `direct` run shows the stall charged to `stalled_by_fault`, the
 /// `multipath` run routes around the cut and stays network-limited.
 pub fn resilience_profile(cache: &PlanCache, bytes: u64) -> ProfileArtifact {
-    let machine = cache.machine(standard_shape(128).unwrap(), &SimConfig::default());
+    resilience_profile_with(cache, &SimConfig::default(), bytes)
+}
+
+/// [`resilience_profile`] under an explicit simulator config.
+pub fn resilience_profile_with(
+    cache: &PlanCache,
+    sim: &SimConfig,
+    bytes: u64,
+) -> ProfileArtifact {
+    let machine = cache.machine(standard_shape(128).unwrap(), sim);
     let (src, dst) = (NodeId(0), NodeId(127));
     let mut pd = Program::new(&machine);
     let hd = plan_direct(&mut pd, src, dst, bytes);
@@ -270,7 +306,12 @@ pub fn resilience_profile(cache: &PlanCache, bytes: u64) -> ProfileArtifact {
 /// pattern); the `proxy_multipath` run shows the same payload spread
 /// over the ledger's claimed links.
 pub fn exchange_profile(cache: &PlanCache, bytes: u64) -> ProfileArtifact {
-    let machine = cache.machine(standard_shape(512).unwrap(), &SimConfig::default());
+    exchange_profile_with(cache, &SimConfig::default(), bytes)
+}
+
+/// [`exchange_profile`] under an explicit simulator config.
+pub fn exchange_profile_with(cache: &PlanCache, sim: &SimConfig, bytes: u64) -> ProfileArtifact {
+    let machine = cache.machine(standard_shape(512).unwrap(), sim);
     let map = crate::exchange::ExchangePattern::DisjointHeavy { bytes }
         .build(512, crate::exchange::EXCHANGE_SEED);
     let runs = sdm_core::ExchangeAlgorithm::ALL

@@ -97,9 +97,15 @@ fn timed_run(prog: &Program<'_>, solver: SolverMode) -> (SolverSide, SimReport) 
 /// Evaluate one partition size. Panics if the two solver modes disagree
 /// on any delivery time — bit-identity is the engine's contract.
 pub fn scale_point(nodes: u32) -> ScalePoint {
+    scale_point_with(nodes, &SimConfig::default())
+}
+
+/// [`scale_point`] under an explicit simulator config — the run-ledger
+/// uses this to replay the sweep cell on a degraded machine.
+pub fn scale_point_with(nodes: u32, sim: &SimConfig) -> ScalePoint {
     let shape = standard_shape(nodes)
         .unwrap_or_else(|| panic!("no standard {nodes}-node partition"));
-    let machine = Machine::new(shape, SimConfig::default());
+    let machine = Machine::new(shape, sim.clone());
     let mut prog = Program::new(&machine);
     let transfers = build_pattern(&mut prog, nodes);
 

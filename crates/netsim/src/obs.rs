@@ -122,11 +122,65 @@ impl SimObserver {
     pub fn new() -> SimObserver {
         SimObserver::default()
     }
+
+    /// Export the observer's counters as named scalars under `prefix`
+    /// (e.g. `"multipath."`), sorted by name — the extraction hook the
+    /// run-ledger uses to fold engine-side counts (waterfill solve
+    /// split, stall/resume totals, undelivered remainder) into a
+    /// [`bgq_obs::ScenarioManifest`] without reaching into fields.
+    /// Every value is an integer count cast to `f64`, so the scalars
+    /// inherit the engine's bit-determinism.
+    ///
+    /// [`bgq_obs::ScenarioManifest`]: https://docs.rs/bgq-obs
+    pub fn scalars(&self, prefix: &str) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = vec![
+            ("events_processed".to_string(), self.events_processed as f64),
+            ("fault_events".to_string(), self.fault_events as f64),
+            ("heatmap_epochs".to_string(), self.heatmap.len() as f64),
+            ("resumes".to_string(), self.resumes.len() as f64),
+            ("stalls".to_string(), self.stalls.len() as f64),
+            (
+                "transfers_undelivered".to_string(),
+                self.transfers_undelivered as f64,
+            ),
+            (
+                "waterfill_full_runs".to_string(),
+                self.waterfill_full_runs as f64,
+            ),
+            (
+                "waterfill_incremental_runs".to_string(),
+                self.waterfill_incremental_runs as f64,
+            ),
+            ("waterfill_runs".to_string(), self.waterfill_runs as f64),
+        ];
+        for (name, _) in &mut out {
+            *name = format!("{prefix}{name}");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scalars_export_is_sorted_and_prefixed() {
+        let mut obs = SimObserver::new();
+        obs.waterfill_runs = 10;
+        obs.waterfill_full_runs = 3;
+        obs.waterfill_incremental_runs = 7;
+        obs.stalls.push((1.0, 4));
+        let s = obs.scalars("sim.");
+        assert!(s.iter().all(|(k, _)| k.starts_with("sim.")));
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0), "sorted: {s:?}");
+        let get = |name: &str| s.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+        assert_eq!(get("sim.waterfill_runs"), Some(10.0));
+        assert_eq!(get("sim.waterfill_full_runs"), Some(3.0));
+        assert_eq!(get("sim.waterfill_incremental_runs"), Some(7.0));
+        assert_eq!(get("sim.stalls"), Some(1.0));
+        assert_eq!(get("sim.transfers_undelivered"), Some(0.0));
+    }
 
     #[test]
     fn heatmap_csv_skips_zero_cells() {

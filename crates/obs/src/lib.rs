@@ -31,10 +31,14 @@
 //! ```
 
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod profile;
+pub mod sentinel;
 pub mod trace;
 
+pub use ledger::{RunManifest, ScenarioManifest, MANIFEST_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use profile::{ProfileArtifact, RunProfile, TransferProfile, PROFILE_VERSION};
+pub use sentinel::{MetricVerdict, ScenarioDiff, SentinelReport, Verdict};
 pub use trace::Recorder;

@@ -314,6 +314,18 @@ fn fmt_f64(v: f64) -> String {
     format!("{v:?}")
 }
 
+/// RFC-4180 CSV field quoting: fields containing a comma, double quote,
+/// or line break are wrapped in double quotes with inner quotes doubled;
+/// clean fields pass through unchanged (so existing goldens, whose names
+/// never need quoting, stay byte-identical).
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 impl MetricsSnapshot {
     /// Counter total by exact name, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -412,7 +424,7 @@ impl MetricsSnapshot {
     fn csv(&self, include_non_golden: bool) -> String {
         let mut out = String::from("kind,name,value\n");
         for (kind, name, value) in self.rows(include_non_golden) {
-            out.push_str(&format!("{kind},{name},{value}\n"));
+            out.push_str(&format!("{kind},{},{value}\n", csv_field(&name)));
         }
         out
     }
@@ -647,6 +659,30 @@ mod tests {
         let d = reg.snapshot().delta_from(&before);
         assert_eq!(d.counter("c"), Some(3));
         assert_eq!(d.histograms[0].1 .1, vec![0, 1]);
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_commas_and_quotes() {
+        assert_eq!(csv_field("plain.name"), "plain.name");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+
+        let reg = MetricsRegistry::new();
+        reg.counter("link{x,y}.stalls").add(3);
+        reg.gauge("label with \"quotes\"").set(1.0);
+        let csv = reg.snapshot().to_csv();
+        assert!(
+            csv.contains("counter,\"link{x,y}.stalls\",3"),
+            "comma-bearing name must be quoted: {csv}"
+        );
+        assert!(
+            csv.contains("gauge,\"label with \"\"quotes\"\"\",1.0"),
+            "quote-bearing name must be escaped: {csv}"
+        );
+        // Clean names stay unquoted so golden CSVs are unchanged.
+        reg.counter("clean.name").inc();
+        assert!(reg.snapshot().to_csv().contains("counter,clean.name,1"));
     }
 
     #[test]

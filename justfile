@@ -1,7 +1,7 @@
 # Common development tasks. Run with `just <target>`.
 
 # Build, test, and lint — the gate every change must pass.
-verify: obs profile bench-smoke exchange
+verify: obs profile bench-smoke exchange sentinel
     cargo build --release
     cargo test -q --workspace
     cargo clippy --workspace --all-targets -- -D warnings
@@ -58,6 +58,29 @@ exchange:
             echo "results/BENCH_exchange.json reproduced byte-exact"; \
     fi
 
+# Run-ledger + regression sentinel: run the scenario sweep, validate the
+# manifest artifact, cross-check it against the committed fig6 profile,
+# and diff against the committed baseline — any REGRESSED verdict (with
+# its profiler blame attribution) fails the gate. On an unchanged tree
+# the manifest byte-matches the baseline. After an intentional model
+# change, re-pin with `UPDATE_GOLDEN=1 just sentinel`. Inject a fake
+# regression to see the attribution machinery work:
+# `cargo run --release -p bgq-bench --bin sentinel -- --degrade-links 0.5 \
+#      --out /tmp/degraded.json --no-history`
+sentinel:
+    @if [ -n "${UPDATE_GOLDEN:-}" ]; then \
+        cargo run --release -p bgq-bench --bin sentinel -- --update-baseline; \
+        echo "re-pinned results/ledger/baseline.json"; \
+    else \
+        cargo run --release -p bgq-bench --bin sentinel; \
+    fi
+    cargo run --release -p bgq-bench --bin obs_report -- --check \
+        results/ledger/manifest.json
+    cargo run --release -p bgq-bench --bin obs_report -- --check --cross \
+        results/ledger/manifest.json results/BENCH_profile_fig6.json fig6
+    cmp results/ledger/manifest.json results/ledger/baseline.json && \
+        echo "results/ledger/baseline.json reproduced byte-exact"
+
 # Full figure reproduction into results/ (coffee-break sized).
 reproduce:
     cargo run --release -p bgq-bench --bin reproduce -- --coarse --max-cores 16384 --threads 4 --timing
@@ -84,3 +107,4 @@ update-golden:
     UPDATE_GOLDEN=1 cargo test --release --test profile_golden
     UPDATE_GOLDEN=1 just profile
     UPDATE_GOLDEN=1 just exchange
+    UPDATE_GOLDEN=1 just sentinel
