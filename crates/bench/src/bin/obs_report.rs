@@ -31,15 +31,20 @@
 //! the two artifacts describe different executions and is reported as
 //! a problem, never silently passed.
 //!
-//! With `--check`, any problem (unparsable JSON, unsorted/duplicate
-//! CSV, undelivered transfers, profile diffs, manifest/profile
-//! disagreement) exits non-zero — the mode `just obs` / `just profile`
-//! / `just sentinel` and CI use.
+//! With `--check`, any problem (unsorted/duplicate CSV, undelivered
+//! transfers, profile diffs, manifest/profile disagreement) exits
+//! non-zero — the mode `just obs` / `just profile` / `just sentinel`
+//! and CI use. Artifacts that cannot be understood at all — empty or
+//! truncated files, invalid JSON, JSON with none of the recognized
+//! schema keys — exit non-zero with an error naming the offending path
+//! even without `--check`: an unreadable artifact must never look like
+//! a quiet success.
 
 use bgq_obs::{ProfileArtifact, RunManifest};
 use std::process::ExitCode;
 
 /// One validated artifact: its path and the problems found in it.
+#[derive(Debug)]
 struct Checked {
     path: String,
     problems: Vec<String>,
@@ -289,6 +294,44 @@ fn check_trace_json(path: &str, contents: &str) -> Checked {
     }
 }
 
+/// Classify one artifact by content and run the matching checker.
+///
+/// `Err` means the file could not be understood at all — empty,
+/// truncated/invalid JSON, or JSON carrying none of the recognized
+/// schema keys. The caller treats that as a hard failure regardless of
+/// `--check`; the message always names the path.
+fn check_artifact(path: &str, contents: &str) -> Result<Checked, String> {
+    let body = contents.trim_start();
+    if body.is_empty() {
+        return Err(format!("{path}: empty artifact (truncated write?)"));
+    }
+    let looks_json = path.ends_with(".json") || body.starts_with('{') || body.starts_with('[');
+    if looks_json {
+        if let Err(e) = bgq_obs::json::validate(contents) {
+            return Err(format!("{path}: truncated or invalid JSON: {e}"));
+        }
+        if contents.contains("\"bgq_profile\"") {
+            Ok(check_profile_json(path, contents))
+        } else if contents.contains("\"bgq_manifest\"") {
+            Ok(check_manifest_json(path, contents))
+        } else if contents.contains("\"traceEvents\"") {
+            Ok(check_trace_json(path, contents))
+        } else {
+            Err(format!(
+                "{path}: unrecognized JSON artifact: expected a Chrome trace \
+                 (\"traceEvents\") or a \"bgq_profile\"/\"bgq_manifest\" schema key"
+            ))
+        }
+    } else if path.ends_with(".csv") || body.starts_with("kind,name,value") {
+        Ok(check_metrics_csv(path, contents))
+    } else {
+        Err(format!(
+            "{path}: unrecognized artifact: not JSON and not a kind,name,value \
+             metrics snapshot"
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let mut strict = false;
     let mut diff = false;
@@ -367,32 +410,87 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let mut unusable = false;
     for path in &paths {
         let contents = match std::fs::read_to_string(path) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{path}: {e}");
-                failed = true;
+                unusable = true;
                 continue;
             }
         };
-        let checked = if contents.contains("\"bgq_profile\"") {
-            check_profile_json(path, &contents)
-        } else if contents.contains("\"bgq_manifest\"") {
-            check_manifest_json(path, &contents)
-        } else if path.ends_with(".json") {
-            check_trace_json(path, &contents)
-        } else {
-            check_metrics_csv(path, &contents)
+        let checked = match check_artifact(path, &contents) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                unusable = true;
+                continue;
+            }
         };
         for p in &checked.problems {
             eprintln!("{}: PROBLEM: {p}", checked.path);
         }
         failed |= !checked.problems.is_empty();
     }
-    if strict && failed {
+    if unusable || (strict && failed) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_artifact;
+
+    #[test]
+    fn empty_and_truncated_artifacts_are_hard_errors_naming_the_path() {
+        let e = check_artifact("results/x.json", "").expect_err("empty must not pass");
+        assert!(e.contains("results/x.json") && e.contains("empty"), "{e}");
+        let e = check_artifact("results/x.json", "  \n\t").expect_err("blank must not pass");
+        assert!(e.contains("empty"), "{e}");
+        // A write that died mid-stream: valid prefix, no closing brace.
+        let e = check_artifact("p.json", "{\"bgq_profile\": 1, \"runs\": [{\"na")
+            .expect_err("truncated JSON must not pass");
+        assert!(e.contains("p.json") && e.contains("truncated or invalid JSON"), "{e}");
+    }
+
+    #[test]
+    fn unrecognized_json_names_the_expected_schemas() {
+        let e = check_artifact("results/who.json", "{\"something\": []}")
+            .expect_err("schema-less JSON must not pass");
+        assert!(e.contains("results/who.json"), "{e}");
+        assert!(
+            e.contains("traceEvents") && e.contains("bgq_profile") && e.contains("bgq_manifest"),
+            "the error must say what would have been accepted: {e}"
+        );
+    }
+
+    #[test]
+    fn json_is_sniffed_by_content_not_just_extension() {
+        // A JSON body behind a non-.json name still goes down the JSON
+        // path (and fails loudly rather than being parsed as CSV).
+        assert!(check_artifact("artifact.dat", "{\"something\": 1}").is_err());
+        let ok = check_artifact("trace.dat", "{\"traceEvents\": []}").unwrap();
+        assert!(ok.problems.is_empty());
+    }
+
+    #[test]
+    fn recognized_artifacts_still_check_clean() {
+        let trace = "{\"traceEvents\": [{\"ph\": \"X\"}]}";
+        assert!(check_artifact("t.json", trace).unwrap().problems.is_empty());
+        let csv = "kind,name,value\ncounter,comm.transfers_undelivered,0\n";
+        assert!(check_artifact("m.csv", csv).unwrap().problems.is_empty());
+    }
+
+    #[test]
+    fn domain_problems_stay_soft_not_hard() {
+        // Malformed *rows* in an otherwise recognizable snapshot are
+        // reported as problems (gated by --check), not hard errors.
+        let csv = "kind,name,value\nnot-a-row\n";
+        let c = check_artifact("m.csv", csv).unwrap();
+        assert_eq!(c.problems.len(), 1);
+        assert!(c.problems[0].contains("not kind,name,value"));
     }
 }

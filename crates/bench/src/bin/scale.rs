@@ -1,17 +1,25 @@
-//! Solver scaling sweep: full vs. incremental waterfill re-leveling on
-//! the same sparse pattern, 512 → 8,192 nodes.
+//! Solver scaling sweep: full vs. incremental waterfill re-leveling,
+//! plus the sharded executor, on the same sparse pattern,
+//! 512 → 8,192 nodes.
 //!
-//! Usage: `scale [--max-nodes N] [--out PATH]`
+//! Usage: `scale [--max-nodes N] [--threads N] [--out PATH] [--report-out PATH]`
 //!
 //! Writes the machine-readable sweep to `results/BENCH_scale.json`
-//! (override with `--out`) and prints a human table. `--max-nodes 512`
+//! (override with `--out`) and prints a human table. `--threads N`
+//! sets the sharded side's worker count (default: the host's available
+//! parallelism). `--report-out` additionally writes the wall-clock-free
+//! report — byte-identical at any thread count, which is what
+//! `just verify`'s sharded-determinism smoke diffs. `--max-nodes 512`
 //! is the smoke configuration used by `just bench-smoke`.
 
-use bgq_bench::scale::{scale_json, scale_point, scale_sizes};
+use bgq_bench::scale::{scale_json, scale_point_with, scale_report_json, scale_sizes};
+use bgq_netsim::SimConfig;
 
 fn main() {
     let mut max_nodes = 8192u32;
     let mut out = String::from("results/BENCH_scale.json");
+    let mut report_out: Option<String> = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -19,29 +27,39 @@ fn main() {
                 let v = args.next().expect("--max-nodes needs a value");
                 max_nodes = v.parse().unwrap_or_else(|_| panic!("bad --max-nodes {v:?}"));
             }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads = v.parse().unwrap_or_else(|_| panic!("bad --threads {v:?}"));
+            }
             "--out" => out = args.next().expect("--out needs a value"),
-            other => panic!("unknown flag {other:?} (use --max-nodes N / --out PATH)"),
+            "--report-out" => report_out = Some(args.next().expect("--report-out needs a value")),
+            other => panic!(
+                "unknown flag {other:?} (use --max-nodes N / --threads N / --out PATH / --report-out PATH)"
+            ),
         }
     }
 
-    println!("incremental waterfill scaling sweep (full vs. incremental re-leveling)");
+    println!("waterfill scaling sweep (full vs. incremental re-leveling, {threads}-thread shards)");
     println!(
-        "{:>6} {:>9} {:>12} {:>12} {:>9} {:>11} {:>8}",
-        "nodes", "transfers", "full ev/s", "incr ev/s", "speedup", "full-levels", "reduced"
+        "{:>6} {:>9} {:>7} {:>12} {:>12} {:>9} {:>11} {:>8} {:>8}",
+        "nodes", "transfers", "shards", "full ev/s", "incr ev/s", "speedup", "full-levels", "reduced", "par"
     );
+    let sim = SimConfig::default();
     let mut points = Vec::new();
     for nodes in scale_sizes(max_nodes) {
-        let p = scale_point(nodes);
+        let p = scale_point_with(nodes, &sim, threads);
         println!(
-            "{:>6} {:>9} {:>12.0} {:>12.0} {:>8.2}x {:>5} -> {:<4} {:>6.1}x",
+            "{:>6} {:>9} {:>7} {:>12.0} {:>12.0} {:>8.2}x {:>5} -> {:<4} {:>6.1}x {:>7.2}x",
             p.nodes,
             p.transfers,
+            p.shards,
             p.full.events_per_sec,
             p.incremental.events_per_sec,
             p.speedup(),
             p.full.full_runs,
             p.incremental.full_runs,
-            p.full_run_reduction()
+            p.full_run_reduction(),
+            p.parallel_speedup()
         );
         points.push(p);
     }
@@ -54,6 +72,11 @@ fn main() {
             p.incremental.incremental_runs,
             p.incremental.full_runs
         );
+        assert!(
+            p.shards > 1,
+            "the sweep pattern failed to decompose at {} nodes",
+            p.nodes
+        );
     }
 
     let json = scale_json(&points);
@@ -62,4 +85,13 @@ fn main() {
     }
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     eprintln!("wrote {out}");
+
+    if let Some(rp) = report_out {
+        let report = scale_report_json(&points);
+        if let Some(dir) = std::path::Path::new(&rp).parent() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+        }
+        std::fs::write(&rp, &report).unwrap_or_else(|e| panic!("write {rp}: {e}"));
+        eprintln!("wrote {rp}");
+    }
 }

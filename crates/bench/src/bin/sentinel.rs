@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! sentinel [--out PATH] [--baseline PATH] [--history PATH]
-//!          [--markdown-out PATH] [--degrade-links F]
-//!          [--update-baseline] [--no-history]
+//!          [--markdown-out PATH] [--degrade-links F] [--threads N]
+//!          [--update-baseline] [--force] [--no-history]
 //! ```
 //!
 //! The flow, in order:
@@ -28,7 +28,13 @@
 //! `--degrade-links F` multiplies the torus and I/O link bandwidths by
 //! `F` — the regression-injection knob: `--degrade-links 0.5` halves
 //! every link capacity, which must flip the exit code nonzero with
-//! verdicts naming the newly-binding links.
+//! verdicts naming the newly-binding links. Pinning a degraded run as
+//! the baseline would silently bless the regression for every later
+//! run, so `--update-baseline` together with `--degrade-links` is a
+//! usage error unless `--force` is also given.
+//!
+//! `--threads N` runs the scale scenario's sharded rerun on `N` worker
+//! threads (simulated metrics don't change; only wall-clock does).
 //!
 //! Exit codes: 0 clean, 1 regression, 2 usage error.
 
@@ -36,25 +42,30 @@ use bgq_bench::{history_line, run_ledger, write_artifact, LedgerOptions, PlanCac
 use bgq_obs::{sentinel, RunManifest};
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Cli {
     out: String,
     baseline: String,
     history: Option<String>,
     markdown_out: Option<String>,
     degrade_links: f64,
+    threads: usize,
     update_baseline: bool,
+    force: bool,
 }
 
-fn parse_cli() -> Result<Cli, String> {
+fn parse_cli(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         out: "results/ledger/manifest.json".to_string(),
         baseline: "results/ledger/baseline.json".to_string(),
         history: Some("results/ledger/history.jsonl".to_string()),
         markdown_out: None,
         degrade_links: 1.0,
+        threads: 0,
         update_baseline: false,
+        force: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     let value = |flag: &str, v: Option<String>| -> Result<String, String> {
         v.ok_or_else(|| format!("{flag} needs a value"))
     };
@@ -74,15 +85,30 @@ fn parse_cli() -> Result<Cli, String> {
                     return Err(format!("--degrade-links must be positive, got {v}"));
                 }
             }
+            "--threads" => {
+                let v = value("--threads", args.next())?;
+                cli.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs a count, got {v:?}"))?;
+            }
             "--update-baseline" => cli.update_baseline = true,
+            "--force" => cli.force = true,
             other => {
                 return Err(format!(
                     "unknown flag {other:?} (supported: --out PATH, --baseline PATH, \
                      --history PATH, --no-history, --markdown-out PATH, \
-                     --degrade-links F, --update-baseline)"
+                     --degrade-links F, --threads N, --update-baseline, --force)"
                 ))
             }
         }
+    }
+    if cli.update_baseline && cli.degrade_links != 1.0 && !cli.force {
+        return Err(format!(
+            "refusing --update-baseline with --degrade-links {}: pinning a degraded run \
+             would bless the regression for every later comparison (pass --force to \
+             override)",
+            cli.degrade_links
+        ));
     }
     Ok(cli)
 }
@@ -101,7 +127,7 @@ fn append_history(path: &str, line: &str, hash: &str) -> std::io::Result<bool> {
 }
 
 fn main() -> ExitCode {
-    let cli = match parse_cli() {
+    let cli = match parse_cli(std::env::args().skip(1)) {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
@@ -109,7 +135,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut opts = LedgerOptions::default();
+    let mut opts = LedgerOptions {
+        threads: cli.threads,
+        ..LedgerOptions::default()
+    };
     if cli.degrade_links != 1.0 {
         opts.sim.link_bandwidth *= cli.degrade_links;
         opts.sim.io_link_bandwidth *= cli.degrade_links;
@@ -190,5 +219,59 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_cli;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn update_baseline_on_degraded_links_is_refused() {
+        let err = parse_cli(args(&["--degrade-links", "0.5", "--update-baseline"]))
+            .expect_err("degraded baseline pin must be refused");
+        assert!(err.contains("refusing --update-baseline"), "{err}");
+        assert!(err.contains("--force"), "the override must be named: {err}");
+        // Flag order must not matter.
+        assert!(parse_cli(args(&["--update-baseline", "--degrade-links", "0.5"])).is_err());
+    }
+
+    #[test]
+    fn force_overrides_the_degraded_baseline_refusal() {
+        let cli = parse_cli(args(&[
+            "--degrade-links",
+            "0.5",
+            "--update-baseline",
+            "--force",
+        ]))
+        .expect("--force must override the refusal");
+        assert!(cli.update_baseline && cli.force);
+        assert_eq!(cli.degrade_links, 0.5);
+    }
+
+    #[test]
+    fn update_baseline_without_degradation_needs_no_force() {
+        let cli = parse_cli(args(&["--update-baseline"])).unwrap();
+        assert!(cli.update_baseline && !cli.force);
+        // An explicit healthy factor is not a degradation.
+        assert!(parse_cli(args(&["--degrade-links", "1.0", "--update-baseline"])).is_ok());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_garbage() {
+        assert_eq!(parse_cli(args(&["--threads", "8"])).unwrap().threads, 8);
+        assert!(parse_cli(args(&["--threads", "many"])).is_err());
+        assert!(parse_cli(args(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn degrade_links_still_validates() {
+        assert!(parse_cli(args(&["--degrade-links", "0"])).is_err());
+        assert!(parse_cli(args(&["--degrade-links", "-1"])).is_err());
+        assert!(parse_cli(args(&["--degrade-links", "NaN"])).is_err());
     }
 }

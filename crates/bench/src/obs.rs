@@ -91,17 +91,17 @@ pub fn record_run(
         .collect();
     let mut active: BTreeMap<&str, ()> = BTreeMap::new();
     for s in &obs.heatmap.samples {
-        for (r, &v) in s.bytes_in_flight.iter().enumerate() {
+        for &(r, v) in &s.bytes_in_flight {
             if v > 0.0 {
-                active.insert(tracks[r].as_str(), ());
+                active.insert(tracks[r as usize].as_str(), ());
             }
         }
     }
     for s in &obs.heatmap.samples {
         let mut sums: BTreeMap<&str, f64> = active.keys().map(|&t| (t, 0.0)).collect();
-        for (r, &v) in s.bytes_in_flight.iter().enumerate() {
+        for &(r, v) in &s.bytes_in_flight {
             if v > 0.0 {
-                *sums.get_mut(tracks[r].as_str()).unwrap() += v;
+                *sums.get_mut(tracks[r as usize].as_str()).unwrap() += v;
             }
         }
         for (track, sum) in sums {

@@ -49,6 +49,10 @@ pub struct LedgerOptions {
     /// How many most-blamed links each profiled run contributes to the
     /// scenario's blame map.
     pub top_blame: usize,
+    /// Worker threads for the scale scenario's sharded rerun (0 = run
+    /// the shards in-line). Simulated metrics are thread-independent —
+    /// only the non-serialized `wall.` timings see this knob.
+    pub threads: usize,
 }
 
 impl Default for LedgerOptions {
@@ -56,6 +60,7 @@ impl Default for LedgerOptions {
         LedgerOptions {
             sim: SimConfig::default(),
             top_blame: 3,
+            threads: 0,
         }
     }
 }
@@ -212,8 +217,9 @@ pub fn scale_scenario(opts: &LedgerOptions) -> ScenarioManifest {
     let mut s = ScenarioManifest::new("scale");
     s.config("nodes", 512);
     sim_config_entries(&mut s, &opts.sim);
-    let p = scale_point_with(512, &opts.sim);
+    let p = scale_point_with(512, &opts.sim, opts.threads);
     s.metric("transfers", p.transfers as f64);
+    s.metric("shards", p.shards as f64);
     s.metric("makespan", p.full.makespan);
     s.metric("events", p.full.events as f64);
     s.metric("full_mode.full_runs", p.full.full_runs as f64);
@@ -225,7 +231,9 @@ pub fn scale_scenario(opts: &LedgerOptions) -> ScenarioManifest {
     s.metric("full_run_reduction", p.full_run_reduction());
     s.metric("wall.full.secs", p.full.wall_secs);
     s.metric("wall.incremental.secs", p.incremental.wall_secs);
+    s.metric("wall.sharded.secs", p.sharded.wall_secs);
     s.metric("wall.speedup", p.speedup());
+    s.metric("wall.parallel_speedup", p.parallel_speedup());
     s
 }
 

@@ -10,10 +10,11 @@
 
 use bgq_comm::{Machine, Program, SparseSendMap};
 use bgq_netsim::SimConfig;
-use bgq_torus::{standard_shape, NodeId};
+use bgq_torus::{standard_shape, LinkId, NodeId};
 use bgq_workloads::{disjoint_heavy_pairs, sparse_pairs};
 use proptest::prelude::*;
-use sdm_core::{ExchangeAlgorithm, NeighborhoodExchange};
+use sdm_core::{ExchangeAlgorithm, NeighborhoodExchange, PairRoute};
+use std::collections::HashSet;
 
 fn machine(nodes: u32) -> Machine {
     Machine::new(
@@ -32,6 +33,123 @@ fn delivered(nodes: u32, map: &SparseSendMap, alg: ExchangeAlgorithm) -> Vec<(No
     let rep = prog.run();
     assert!(rep.all_delivered(), "{alg:?} left payload undelivered");
     plan.per_pair_delivered(&rep)
+}
+
+/// An exchange with nothing to say: all three lowerings must accept the
+/// empty send map, produce an empty plan, claim nothing, and simulate
+/// to a clean (trivially all-delivered) report.
+#[test]
+fn empty_send_map_lowers_cleanly_under_every_algorithm() {
+    let m = machine(128);
+    let map = SparseSendMap::new();
+    for alg in ExchangeAlgorithm::ALL {
+        let ex = NeighborhoodExchange::new(&m);
+        let mut prog = Program::new(&m);
+        let plan = ex.plan(&mut prog, &map, alg);
+        assert!(plan.pairs.is_empty(), "{alg:?} invented pairs");
+        assert_eq!(plan.total_bytes(), 0);
+        assert!(
+            plan.ledger.is_empty(),
+            "{alg:?} claimed links for an empty exchange"
+        );
+        let rep = prog.run();
+        assert!(rep.all_delivered(), "{alg:?}");
+        assert!(plan.per_pair_delivered(&rep).is_empty());
+    }
+}
+
+/// A one-pair exchange is the degenerate batch: every lowering delivers
+/// that pair's exact payload, and the batch machinery (ledger, combine
+/// pass) adds nothing a single point-to-point plan wouldn't.
+#[test]
+fn single_pair_exchange_delivers_exactly_its_payload() {
+    let nodes = 128u32;
+    let map = SparseSendMap::from_rank_pairs(&[(3, 67, 24 << 20)]);
+    let expected = vec![(NodeId(3), NodeId(67), 24u64 << 20)];
+    let baseline = delivered(nodes, &map, ExchangeAlgorithm::Direct);
+    assert_eq!(baseline, expected);
+    for alg in [ExchangeAlgorithm::Consensus, ExchangeAlgorithm::ProxyMultipath] {
+        assert_eq!(delivered(nodes, &map, alg), expected, "{alg:?}");
+    }
+
+    // A single small pair additionally has no combining partner: it must
+    // stay a plain direct put with no proxy claims beyond its own route.
+    let m = machine(nodes);
+    let small = SparseSendMap::from_rank_pairs(&[(3, 67, 4 << 10)]);
+    let ex = NeighborhoodExchange::new(&m);
+    let mut prog = Program::new(&m);
+    let plan = ex.plan(&mut prog, &small, ExchangeAlgorithm::ProxyMultipath);
+    assert_eq!(plan.pairs.len(), 1);
+    assert_eq!(plan.pairs[0].route, PairRoute::Direct);
+    assert_eq!(plan.pairs_multipath(), 0);
+    let direct: HashSet<LinkId> =
+        bgq_torus::route(m.shape(), NodeId(3), NodeId(67), m.zone())
+            .links
+            .into_iter()
+            .collect();
+    assert_eq!(
+        plan.ledger.claimed(),
+        &direct,
+        "a lone small pair must claim exactly its own direct route"
+    );
+}
+
+/// An all-below-threshold batch never takes a proxy path, and the
+/// ledger holds nothing but the pairs' own direct routes plus the
+/// store-and-forward legs of combined riders — zero spurious proxy
+/// claims. Delivery stays byte-identical with the other two lowerings.
+#[test]
+fn all_below_threshold_batch_goes_direct_with_no_spurious_claims() {
+    let nodes = 128u32;
+    // Small payloads (≤ 16 KiB, far under the proxy-benefit threshold)
+    // from a handful of sources, including same-source siblings so the
+    // combine pass has something to look at.
+    let map = SparseSendMap::from_rank_pairs(&[
+        (0, 1, 8 << 10),
+        (0, 3, 4 << 10),
+        (0, 96, 16 << 10),
+        (5, 70, 2 << 10),
+        (17, 81, 1 << 10),
+        (17, 110, 12 << 10),
+    ]);
+
+    let baseline = delivered(nodes, &map, ExchangeAlgorithm::Direct);
+    for alg in [ExchangeAlgorithm::Consensus, ExchangeAlgorithm::ProxyMultipath] {
+        assert_eq!(
+            delivered(nodes, &map, alg),
+            baseline,
+            "{alg:?} delivery differs from direct"
+        );
+    }
+
+    let m = machine(nodes);
+    let ex = NeighborhoodExchange::new(&m);
+    let mut prog = Program::new(&m);
+    let plan = ex.plan(&mut prog, &map, ExchangeAlgorithm::ProxyMultipath);
+    assert_eq!(plan.pairs_multipath(), 0, "below-threshold pairs went proxy");
+    assert_eq!(
+        plan.pairs_direct() + plan.pairs_carrier() + plan.pairs_combined(),
+        map.len(),
+        "every pair must be direct, a carrier, or combined"
+    );
+
+    // Reconstruct the only links the plan is allowed to claim: each
+    // pair's own deterministic direct route, plus the carrier-dst →
+    // rider-dst forward leg of every combined pair.
+    let mut allowed: HashSet<LinkId> = HashSet::new();
+    for &(src, dst, _) in map.pairs() {
+        allowed.extend(bgq_torus::route(m.shape(), src, dst, m.zone()).links);
+    }
+    for p in &plan.pairs {
+        if let PairRoute::Combined { via } = p.route {
+            allowed.extend(bgq_torus::route(m.shape(), via, p.dst, m.zone()).links);
+        }
+    }
+    assert_eq!(
+        plan.ledger.claimed(),
+        &allowed,
+        "ledger must hold exactly the direct routes and forward legs"
+    );
 }
 
 proptest! {

@@ -91,15 +91,26 @@ impl FlowSet {
     }
 
     /// Close the books at end of run: flows still stalled accrue stall
-    /// time up to `end`, and the per-transfer totals are returned.
-    pub fn into_stall_time(mut self, end: f64) -> Vec<f64> {
+    /// time up to `end`, and the per-transfer totals are returned along
+    /// with the ids of the flows that were still stalled at the drain
+    /// (in stall order) — the merge layer extends those to the global
+    /// drain when this component finished before its siblings.
+    pub fn close(mut self, end: f64) -> (Vec<f64>, Vec<u32>) {
+        let mut at_drain = Vec::new();
         for f in &self.stalled {
             let since = self.stalled_since[f.tid as usize];
             if since.is_finite() {
                 self.stall_time[f.tid as usize] += end - since;
+                at_drain.push(f.tid);
             }
         }
-        self.stall_time
+        (self.stall_time, at_drain)
+    }
+
+    /// [`close`](Self::close), keeping only the per-transfer totals.
+    #[cfg(test)]
+    pub fn into_stall_time(self, end: f64) -> Vec<f64> {
+        self.close(end).0
     }
 }
 

@@ -24,16 +24,18 @@ mod faults;
 mod flow_state;
 mod leveling;
 mod queue;
+mod shard;
 
 use crate::config::SimConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
-use crate::graph::{TransferGraph, TransferId};
-use crate::obs::{FaultReLevel, HeatmapSample, SimObserver};
+use crate::graph::{TransferGraph, TransferId, TransferSpec};
+use crate::obs::{FaultReLevel, HeatmapSample, ShardMerge, SimObserver};
 use crate::profile::{ProfileState, SimProfile};
 use faults::FaultState;
 use flow_state::FlowSet;
 use leveling::Leveler;
 use queue::{Event, EventQueue};
+use shard::{execute, partition, PartitionOutcome};
 
 /// Bytes below which a flow is considered complete (absorbs float error).
 const BYTE_EPS: f64 = 1e-3;
@@ -82,6 +84,12 @@ pub struct SimOptions<'a> {
     /// Profiling is passive: the report's other fields are bit-identical
     /// to an unprofiled run.
     pub profile: bool,
+    /// Worker threads for executing contention shards. `0` or `1` runs
+    /// every shard inline on the calling thread (the default); higher
+    /// values fan shards out on a scoped pool. Reports, observers and
+    /// profiles are bit-identical at every thread count — shard
+    /// discovery and merge order never depend on scheduling.
+    pub threads: usize,
 }
 
 impl<'a> SimOptions<'a> {
@@ -111,6 +119,13 @@ impl<'a> SimOptions<'a> {
     /// [`crate::profile`]).
     pub fn profiled(mut self) -> SimOptions<'a> {
         self.profile = true;
+        self
+    }
+
+    /// Execute contention shards on `threads` worker threads. Results
+    /// stay bit-identical to the sequential (`threads <= 1`) engine.
+    pub fn sharded(mut self, threads: usize) -> SimOptions<'a> {
+        self.threads = threads;
         self
     }
 }
@@ -175,18 +190,7 @@ impl SimReport {
                 // Name the worst offender, not just the totals: the one
                 // undelivered transfer with the most accrued stall is
                 // where debugging a wedged exchange starts.
-                let worst = self
-                    .status
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &s)| s != TransferStatus::Delivered)
-                    .max_by(|&(i, _), &(j, _)| {
-                        self.stall_time[i]
-                            .partial_cmp(&self.stall_time[j])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .map(|(i, _)| (i, self.stall_time[i]));
-                let offender = match worst {
+                let offender = match self.worst_undelivered() {
                     Some((i, stall)) => {
                         format!("; top offender: transfer #{i} stalled {stall:.3}s")
                     }
@@ -203,6 +207,21 @@ impl SimReport {
             }
             0.0
         }
+    }
+
+    /// The undelivered transfer with the most accrued stall time, if
+    /// any. Stall times compare with `total_cmp` — like `queue.rs` and
+    /// `waterfill.rs` — so a NaN (which orders above every finite
+    /// value) deterministically surfaces as the offender instead of
+    /// collapsing into a tie that silently keeps an arbitrary earlier
+    /// candidate.
+    fn worst_undelivered(&self) -> Option<(usize, f64)> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != TransferStatus::Delivered)
+            .max_by(|&(i, _), &(j, _)| self.stall_time[i].total_cmp(&self.stall_time[j]))
+            .map(|(i, _)| (i, self.stall_time[i]))
     }
 
     /// Whether every transfer was delivered.
@@ -333,23 +352,20 @@ impl Simulator {
             observer: mut obs,
             solver,
             profile,
+            threads,
         } = opts;
         let n = graph.len();
         let specs = graph.specs();
         let fault_events: &[FaultEvent] = faults.map(|p| p.events()).unwrap_or(&[]);
-        let have_faults = !fault_events.is_empty();
 
-        // Dependency bookkeeping.
-        let mut remaining_deps: Vec<u32> = specs.iter().map(|s| s.deps.len() as u32).collect();
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Validate against the *global* universe before any shard
+        // routing: a fault naming an unknown resource must panic even
+        // though it would route to no shard.
         for (i, s) in specs.iter().enumerate() {
             assert!(
                 s.src < self.num_nodes && s.dst < self.num_nodes,
                 "transfer {i} references node outside the network"
             );
-            for d in &s.deps {
-                children[d.index()].push(i as u32);
-            }
         }
         for ev in fault_events {
             match ev.kind {
@@ -364,322 +380,147 @@ impl Simulator {
             }
         }
 
-        let mut q = EventQueue::new();
-
-        // Fault schedule first: at equal timestamps a fault applies before
-        // any flow event (lower sequence numbers win ties).
-        for (i, ev) in fault_events.iter().enumerate() {
-            q.push(ev.time, Event::Fault(i as u32));
-        }
-
-        // Seed: transfers with no dependencies become ready at start_at +
-        // extra_delay.
-        for (i, s) in specs.iter().enumerate() {
-            if s.deps.is_empty() {
-                let t = s.start_at.max(s.extra_delay);
-                q.push(t, Event::Ready(i as u32));
-            }
-        }
-
-        // Fault state, allocated only when a plan is present.
-        let mut fstate: Option<FaultState> =
-            have_faults.then(|| FaultState::new(&self.capacities, self.num_nodes));
-
-        // Per-node injection CPU.
-        let mut cpu_queue: Vec<std::collections::VecDeque<u32>> =
-            vec![std::collections::VecDeque::new(); self.num_nodes as usize];
-        let mut cpu_busy: Vec<bool> = vec![false; self.num_nodes as usize];
-
-        // Active/stalled flows and fair-share machinery.
-        let mut flows = FlowSet::new(n);
-        let mut leveler = Leveler::new(self.capacities.len(), n, solver);
-        let mut rates_scratch: Vec<f64> = Vec::new();
-        let mut rates_dirty = false;
-        let mut epoch: u64 = 0;
-
-        let mut delivery_time = vec![f64::INFINITY; n];
-        let mut flow_start_time = vec![f64::INFINITY; n];
-        let mut delivered_count: usize = 0;
-        // Bottleneck-attribution accumulator. Strictly passive, like the
-        // observer: it reads `dt` and engine state but never feeds a
-        // float back into the simulation.
-        let mut pstate: Option<ProfileState> = profile.then(|| ProfileState::new(n));
-        let mut resource_bytes = if self.config.collect_link_stats {
-            Some(vec![0.0f64; self.capacities.len()])
-        } else {
-            None
-        };
-
-        let mut now = 0.0f64;
-
-        while let Some(entry) = q.pop() {
-            if let Some(o) = obs.as_deref_mut() {
-                o.events_processed += 1;
-            }
-            // Advance the fluid state to the event time.
-            let dt = entry.time - now;
-            debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
-            if dt > 0.0 {
-                debug_assert!(!rates_dirty, "advancing with stale rates");
-                for f in &mut flows.active {
-                    let moved = f.rate * dt;
-                    f.remaining -= moved;
-                    if let Some(rb) = resource_bytes.as_mut() {
-                        for r in &specs[f.tid as usize].route {
-                            rb[r.0 as usize] += moved;
-                        }
-                    }
-                }
-                if let Some(ps) = pstate.as_mut() {
-                    // Every active flow spent `dt` bound by whatever
-                    // resource the last re-level named for it (rates are
-                    // never stale across an advance).
-                    for f in &flows.active {
-                        ps.accrue(f.tid, leveler.binding_of(f.tid), dt);
-                    }
-                }
-                now = entry.time;
-            }
-
-            match entry.event {
-                Event::Ready(tid) => {
-                    if let Some(ps) = pstate.as_mut() {
-                        ps.note_ready(tid, now);
-                    }
-                    let node = specs[tid as usize].src as usize;
-                    if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
-                        // Source is down: park until the node recovers.
-                        fstate.as_mut().unwrap().parked[node].push(tid);
-                    } else if cpu_busy[node] {
-                        cpu_queue[node].push_back(tid);
-                    } else {
-                        cpu_busy[node] = true;
-                        q.push(now + self.config.send_overhead, Event::InjectionDone(tid));
-                    }
-                }
-                Event::InjectionDone(tid) => {
-                    let spec = &specs[tid as usize];
-                    let node = spec.src as usize;
-                    // Start the next queued injection on this node (a node
-                    // that went down mid-injection resumes its queue on
-                    // recovery instead).
-                    if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
-                        cpu_busy[node] = false;
-                    } else if let Some(next) = cpu_queue[node].pop_front() {
-                        q.push(now + self.config.send_overhead, Event::InjectionDone(next));
-                    } else {
-                        cpu_busy[node] = false;
-                    }
-                    flow_start_time[tid as usize] = now;
-                    if spec.bytes == 0 {
-                        // Pure synchronization edge: deliver after latency.
-                        if let Some(ps) = pstate.as_mut() {
-                            ps.note_drained(tid, now);
-                        }
-                        let lat = spec.route.len() as f64 * self.config.hop_latency
-                            + self.config.recv_overhead;
-                        q.push(now + lat, Event::Delivered(tid));
-                    } else if fstate.as_ref().is_some_and(|fs| fs.is_blocked(spec)) {
-                        // Born stalled: wait for the fault to heal.
-                        if let Some(o) = obs.as_deref_mut() {
-                            o.stalls.push((now, tid));
-                        }
-                        flows.stall_new(tid, spec.bytes as f64, now);
-                    } else {
-                        flows.activate(tid, spec.bytes as f64);
-                        leveler.note_join(tid, &spec.route);
-                        rates_dirty = true;
-                    }
-                }
-                // Note: a stale FlowCheck (epoch mismatch) must fall through
-                // to the recompute block below, not `continue`, or pending
-                // dirty rates would never be refreshed.
-                Event::FlowCheck { epoch: e } => {
-                    if e == epoch {
-                        // Complete every flow that has drained.
-                        let mut completed_any = false;
-                        let mut i = 0;
-                        while i < flows.active.len() {
-                            if flows.active[i].remaining <= BYTE_EPS {
-                                let f = flows.complete_at(i);
-                                if let Some(ps) = pstate.as_mut() {
-                                    ps.note_drained(f.tid, now);
-                                }
-                                let spec = &specs[f.tid as usize];
-                                leveler.note_leave(f.tid, &spec.route);
-                                let lat = spec.route.len() as f64 * self.config.hop_latency
-                                    + self.config.recv_overhead;
-                                q.push(now + lat, Event::Delivered(f.tid));
-                                rates_dirty = true;
-                                completed_any = true;
-                            } else {
-                                i += 1;
-                            }
-                        }
-                        if !completed_any && !flows.active.is_empty() {
-                            // Float noise left the nearest flow fractionally
-                            // short; re-arm the check at its true ETA.
-                            let next_done = flows
-                                .active
-                                .iter()
-                                .map(|f| now + f.remaining.max(0.0) / f.rate)
-                                .fold(f64::INFINITY, f64::min);
-                            q.push(next_done, Event::FlowCheck { epoch });
-                        }
-                    }
-                }
-                Event::Delivered(tid) => {
-                    delivery_time[tid as usize] = now;
-                    delivered_count += 1;
-                    for &child in &children[tid as usize] {
-                        remaining_deps[child as usize] -= 1;
-                        if remaining_deps[child as usize] == 0 {
-                            let cs = &specs[child as usize];
-                            let t = (now + cs.extra_delay).max(cs.start_at);
-                            q.push(t, Event::Ready(child));
-                        }
-                    }
-                }
-                Event::Fault(fi) => {
-                    let fs = fstate.as_mut().expect("fault event without a plan");
-                    let kind = &fault_events[fi as usize].kind;
-                    if let Some(ri) = fs.apply(kind, &self.capacities) {
-                        leveler.note_caps_changed(ri);
-                    }
-                    if let FaultKind::NodeUp { node } = *kind {
-                        let ni = node as usize;
-                        // Re-ready injections parked while down (in
-                        // arrival order: the push seq preserves it).
-                        for tid in std::mem::take(&mut fs.parked[ni]) {
-                            q.push(now, Event::Ready(tid));
-                        }
-                        // Resume an injection queue left idle when the
-                        // node failed mid-injection.
-                        if !cpu_busy[ni] {
-                            if let Some(next) = cpu_queue[ni].pop_front() {
-                                cpu_busy[ni] = true;
-                                q.push(
-                                    now + self.config.send_overhead,
-                                    Event::InjectionDone(next),
-                                );
-                            }
-                        }
-                    }
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.fault_events += 1;
-                    }
-                    // Start indices into the observer's stall/resume logs:
-                    // everything the repartition below appends belongs to
-                    // this fault epoch's re-level record.
-                    let (s0, r0) = match obs.as_deref_mut() {
-                        Some(o) => (o.stalls.len(), o.resumes.len()),
-                        None => (0, 0),
-                    };
-                    // Re-partition running vs. stalled flows under the new
-                    // health state, preserving arrival order (determinism).
-                    let mut i = 0;
-                    while i < flows.active.len() {
-                        if fs.is_blocked(&specs[flows.active[i].tid as usize]) {
-                            let tid = flows.stall_at(i, now);
-                            leveler.note_leave(tid, &specs[tid as usize].route);
-                            if let Some(o) = obs.as_deref_mut() {
-                                o.stalls.push((now, tid));
-                            }
-                        } else {
-                            i += 1;
-                        }
-                    }
-                    let mut i = 0;
-                    while i < flows.stalled.len() {
-                        if !fs.is_blocked(&specs[flows.stalled[i].tid as usize]) {
-                            let tid = flows.resume_at(i, now);
-                            leveler.note_join(tid, &specs[tid as usize].route);
-                            if let Some(o) = obs.as_deref_mut() {
-                                o.resumes.push((now, tid));
-                            }
-                        } else {
-                            i += 1;
-                        }
-                    }
-                    if let Some(o) = obs.as_deref_mut() {
-                        let stalled = o.stalls[s0..].iter().map(|&(_, t)| t).collect();
-                        let resumed = o.resumes[r0..].iter().map(|&(_, t)| t).collect();
-                        o.fault_re_levels.push(FaultReLevel {
-                            time: now,
-                            stalled,
-                            resumed,
-                        });
-                    }
-                    rates_dirty = true;
-                }
-            }
-
-            // Re-level fair shares once all events at this instant are
-            // handled (cheap peek-based batching).
-            if rates_dirty && q.is_boundary(now) {
-                epoch += 1;
+        match partition(specs, fault_events, &self.capacities, self.num_nodes) {
+            PartitionOutcome::Single { faults: filtered } => {
+                // One contention component: run the original universe
+                // directly (the remap would be the identity) under the
+                // filtered fault schedule.
+                let input = ComponentInput {
+                    specs,
+                    caps: &self.capacities,
+                    num_nodes: self.num_nodes,
+                    config: &self.config,
+                    faults: &filtered,
+                    solver,
+                    profile,
+                };
+                let run = run_component(&input, obs.as_deref_mut());
                 if let Some(o) = obs.as_deref_mut() {
-                    // Sample the fluid state at the epoch boundary:
-                    // remaining bytes of active flows, spread over their
-                    // routes. Observer-only work — the report's floats are
-                    // untouched.
-                    o.waterfill_runs += 1;
-                    let mut bytes_in_flight = vec![0.0f64; self.capacities.len()];
-                    for f in &flows.active {
-                        for r in &specs[f.tid as usize].route {
-                            bytes_in_flight[r.0 as usize] += f.remaining.max(0.0);
-                        }
-                    }
-                    o.heatmap.samples.push(HeatmapSample {
-                        time: now,
-                        epoch,
-                        bytes_in_flight,
+                    o.shards += 1;
+                    o.shard_merges.push(ShardMerge {
+                        shard: 0,
+                        transfers: n as u32,
+                        end_time: run.end_time,
                     });
                 }
-                if !flows.active.is_empty() {
-                    // Stalled flows are excluded from the demand set, so no
-                    // route ever crosses a zero-capacity (dead) resource.
-                    let caps: &[f64] = match fstate.as_ref() {
-                        Some(fs) => &fs.eff_caps,
-                        None => &self.capacities,
+                self.finish_report(
+                    graph,
+                    run.delivery_time,
+                    run.flow_start_time,
+                    run.stall_time,
+                    run.end_time,
+                    run.resource_bytes,
+                    run.pstate,
+                    1,
+                    obs,
+                )
+            }
+            PartitionOutcome::Sharded(plans) => {
+                let observing = obs.is_some();
+                let runs = execute(plans.len(), threads, |k| {
+                    let plan = &plans[k];
+                    let mut local = if observing {
+                        Some(SimObserver::new())
+                    } else {
+                        None
                     };
-                    leveler.level(
-                        &mut flows.active,
-                        specs,
-                        caps,
-                        &self.config,
-                        &mut rates_scratch,
-                    );
-                    if let Some(ps) = pstate.as_mut() {
-                        for f in &flows.active {
-                            ps.note_binding(f.tid, now, leveler.binding_of(f.tid));
+                    let input = ComponentInput {
+                        specs: plan.graph.specs(),
+                        caps: &plan.caps,
+                        num_nodes: plan.nodes.len() as u32,
+                        config: &self.config,
+                        faults: &plan.faults,
+                        solver,
+                        profile,
+                    };
+                    let run = run_component(&input, local.as_mut());
+                    (run, local)
+                });
+
+                // Merge in canonical shard order (ascending minimum
+                // transfer id): scatter per-transfer records back to
+                // global indices, close stall books at the global drain,
+                // and fold shard observers/profiles with ids remapped.
+                let global_end = runs.iter().map(|(r, _)| r.end_time).fold(0.0, f64::max);
+                let mut delivery_time = vec![f64::INFINITY; n];
+                let mut flow_start_time = vec![f64::INFINITY; n];
+                let mut stall_time = vec![0.0f64; n];
+                let mut resource_bytes = self
+                    .config
+                    .collect_link_stats
+                    .then(|| vec![0.0f64; self.capacities.len()]);
+                let mut gstate = profile.then(|| ProfileState::new(n));
+                let shards = plans.len() as u32;
+                let mark = obs.as_deref().map(|o| o.mark());
+                for (k, (plan, (run, local))) in plans.iter().zip(runs).enumerate() {
+                    for (li, &t) in plan.tids.iter().enumerate() {
+                        delivery_time[t as usize] = run.delivery_time[li];
+                        flow_start_time[t as usize] = run.flow_start_time[li];
+                        stall_time[t as usize] = run.stall_time[li];
+                    }
+                    // A flow still stalled when its shard drained keeps
+                    // accruing until the *global* drain, exactly as it
+                    // did when every component shared one event loop.
+                    for &lt in &run.stalled_at_drain {
+                        stall_time[plan.tids[lt as usize] as usize] += global_end - run.end_time;
+                    }
+                    if let (Some(grb), Some(lrb)) =
+                        (resource_bytes.as_mut(), run.resource_bytes.as_ref())
+                    {
+                        for (li, &r) in plan.resources.iter().enumerate() {
+                            grb[r as usize] = lrb[li];
                         }
                     }
-                    let mut next_done = f64::INFINITY;
-                    for f in &flows.active {
-                        let eta = now + (f.remaining.max(0.0) / f.rate);
-                        if eta < next_done {
-                            next_done = eta;
+                    if let (Some(g), Some(p)) = (gstate.as_mut(), run.pstate) {
+                        g.absorb(p, &plan.tids, &plan.resources);
+                    }
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.shards += 1;
+                        o.shard_merges.push(ShardMerge {
+                            shard: k as u32,
+                            transfers: plan.tids.len() as u32,
+                            end_time: run.end_time,
+                        });
+                        if let Some(local) = local {
+                            o.absorb_shard(local, &plan.tids, &plan.resources);
                         }
                     }
-                    q.push(next_done, Event::FlowCheck { epoch });
                 }
-                rates_dirty = false;
-            }
-
-            // With faults the queue may hold events past the last delivery
-            // (recoveries, stale checks); stop once everything arrived.
-            if have_faults && delivered_count == n {
-                break;
+                if let (Some(o), Some(mark)) = (obs.as_deref_mut(), mark) {
+                    o.seal_merge(mark);
+                }
+                self.finish_report(
+                    graph,
+                    delivery_time,
+                    flow_start_time,
+                    stall_time,
+                    global_end,
+                    resource_bytes,
+                    gstate,
+                    shards,
+                    obs,
+                )
             }
         }
+    }
 
-        if !have_faults {
-            assert_eq!(
-                delivered_count, n,
-                "simulation ended with undelivered transfers (dependency deadlock?)"
-            );
-        }
+    /// Common tail of both execution paths: derive statuses, fold the
+    /// undelivered count into the observer, decode the profile, and
+    /// assemble the report.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_report(
+        &self,
+        graph: &TransferGraph,
+        delivery_time: Vec<f64>,
+        flow_start_time: Vec<f64>,
+        stall_time: Vec<f64>,
+        end_time: f64,
+        resource_bytes: Option<Vec<f64>>,
+        pstate: Option<ProfileState>,
+        shards: u32,
+        obs: Option<&mut SimObserver>,
+    ) -> SimReport {
+        let n = graph.len();
         let status: Vec<TransferStatus> = (0..n)
             .map(|i| {
                 if delivery_time[i].is_finite() {
@@ -696,24 +537,423 @@ impl Simulator {
                 .iter()
                 .filter(|&&s| s != TransferStatus::Delivered)
                 .count() as u64;
-            o.waterfill_full_runs += leveler.full_runs;
-            o.waterfill_incremental_runs += leveler.incremental_runs;
         }
         let makespan = delivery_time.iter().copied().fold(0.0, f64::max);
-        let stall_time = flows.into_stall_time(now);
-        let profile =
-            pstate.map(|ps| ps.finish(&delivery_time, &flow_start_time, &stall_time, now));
+        let profile = pstate
+            .map(|ps| ps.finish(&delivery_time, &flow_start_time, &stall_time, end_time, shards));
         SimReport {
             delivery_time,
             flow_start_time,
             stall_time,
             status,
             makespan,
-            end_time: now,
+            end_time,
             total_bytes: graph.total_bytes(),
             resource_bytes,
             profile,
         }
+    }
+}
+
+/// Everything one contention component's event loop needs, with ids in
+/// the component's own (possibly remapped) universe.
+struct ComponentInput<'a> {
+    specs: &'a [TransferSpec],
+    caps: &'a [f64],
+    num_nodes: u32,
+    config: &'a SimConfig,
+    faults: &'a [FaultEvent],
+    solver: SolverMode,
+    profile: bool,
+}
+
+/// One component's raw results, in local ids, books closed at the
+/// component's own drain time. The merge layer scatters these back to
+/// global indices and extends still-stalled flows to the global drain.
+struct ComponentRun {
+    delivery_time: Vec<f64>,
+    flow_start_time: Vec<f64>,
+    stall_time: Vec<f64>,
+    /// Local tids still stalled when this component's queue drained.
+    stalled_at_drain: Vec<u32>,
+    end_time: f64,
+    resource_bytes: Option<Vec<f64>>,
+    pstate: Option<ProfileState>,
+}
+
+/// The discrete-event loop over one contention component (the whole
+/// graph when it forms a single component). Sharding changes *which*
+/// transfers share a loop, never the arithmetic inside one — this body
+/// performs the same float operations per component at every thread
+/// count, which is where the engine's bit-determinism comes from.
+fn run_component(input: &ComponentInput<'_>, mut obs: Option<&mut SimObserver>) -> ComponentRun {
+    let ComponentInput {
+        specs,
+        caps,
+        num_nodes,
+        config,
+        faults: fault_events,
+        solver,
+        profile,
+    } = *input;
+    let n = specs.len();
+    let have_faults = !fault_events.is_empty();
+
+    // Dependency bookkeeping.
+    let mut remaining_deps: Vec<u32> = specs.iter().map(|s| s.deps.len() as u32).collect();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, s) in specs.iter().enumerate() {
+        for d in &s.deps {
+            children[d.index()].push(i as u32);
+        }
+    }
+
+    let mut q = EventQueue::new();
+
+    // Fault schedule first: at equal timestamps a fault applies before
+    // any flow event (lower sequence numbers win ties).
+    for (i, ev) in fault_events.iter().enumerate() {
+        q.push(ev.time, Event::Fault(i as u32));
+    }
+
+    // Seed: transfers with no dependencies become ready at start_at +
+    // extra_delay.
+    for (i, s) in specs.iter().enumerate() {
+        if s.deps.is_empty() {
+            let t = s.start_at.max(s.extra_delay);
+            q.push(t, Event::Ready(i as u32));
+        }
+    }
+
+    // Fault state, allocated only when a plan is present.
+    let mut fstate: Option<FaultState> = have_faults.then(|| FaultState::new(caps, num_nodes));
+
+    // Per-node injection CPU.
+    let mut cpu_queue: Vec<std::collections::VecDeque<u32>> =
+        vec![std::collections::VecDeque::new(); num_nodes as usize];
+    let mut cpu_busy: Vec<bool> = vec![false; num_nodes as usize];
+
+    // Active/stalled flows and fair-share machinery.
+    let mut flows = FlowSet::new(n);
+    let mut leveler = Leveler::new(caps.len(), n, solver);
+    let mut rates_scratch: Vec<f64> = Vec::new();
+    let mut rates_dirty = false;
+    let mut epoch: u64 = 0;
+
+    let mut delivery_time = vec![f64::INFINITY; n];
+    let mut flow_start_time = vec![f64::INFINITY; n];
+    let mut delivered_count: usize = 0;
+    // Bottleneck-attribution accumulator. Strictly passive, like the
+    // observer: it reads `dt` and engine state but never feeds a
+    // float back into the simulation.
+    let mut pstate: Option<ProfileState> = profile.then(|| ProfileState::new(n));
+    let mut resource_bytes = if config.collect_link_stats {
+        Some(vec![0.0f64; caps.len()])
+    } else {
+        None
+    };
+    // Heatmap sampling scratch, reused across epochs: a dense per-
+    // resource accumulator plus the list of touched indices, drained
+    // into a sparse sorted sample at each boundary.
+    let mut heat_scratch: Vec<f64> = if obs.is_some() {
+        vec![0.0; caps.len()]
+    } else {
+        Vec::new()
+    };
+    let mut heat_touched: Vec<u32> = Vec::new();
+
+    let mut now = 0.0f64;
+
+    while let Some(entry) = q.pop() {
+        if let Some(o) = obs.as_deref_mut() {
+            o.events_processed += 1;
+        }
+        // Advance the fluid state to the event time.
+        let dt = entry.time - now;
+        debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
+        if dt > 0.0 {
+            debug_assert!(!rates_dirty, "advancing with stale rates");
+            for f in &mut flows.active {
+                let moved = f.rate * dt;
+                f.remaining -= moved;
+                if let Some(rb) = resource_bytes.as_mut() {
+                    for r in &specs[f.tid as usize].route {
+                        rb[r.0 as usize] += moved;
+                    }
+                }
+            }
+            if let Some(ps) = pstate.as_mut() {
+                // Every active flow spent `dt` bound by whatever
+                // resource the last re-level named for it (rates are
+                // never stale across an advance).
+                for f in &flows.active {
+                    ps.accrue(f.tid, leveler.binding_of(f.tid), dt);
+                }
+            }
+            now = entry.time;
+        }
+
+        match entry.event {
+            Event::Ready(tid) => {
+                if let Some(ps) = pstate.as_mut() {
+                    ps.note_ready(tid, now);
+                }
+                let node = specs[tid as usize].src as usize;
+                if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
+                    // Source is down: park until the node recovers.
+                    fstate.as_mut().unwrap().parked[node].push(tid);
+                } else if cpu_busy[node] {
+                    cpu_queue[node].push_back(tid);
+                } else {
+                    cpu_busy[node] = true;
+                    q.push(now + config.send_overhead, Event::InjectionDone(tid));
+                }
+            }
+            Event::InjectionDone(tid) => {
+                let spec = &specs[tid as usize];
+                let node = spec.src as usize;
+                // Start the next queued injection on this node (a node
+                // that went down mid-injection resumes its queue on
+                // recovery instead).
+                if fstate.as_ref().is_some_and(|fs| fs.node_down[node]) {
+                    cpu_busy[node] = false;
+                } else if let Some(next) = cpu_queue[node].pop_front() {
+                    q.push(now + config.send_overhead, Event::InjectionDone(next));
+                } else {
+                    cpu_busy[node] = false;
+                }
+                flow_start_time[tid as usize] = now;
+                if spec.bytes == 0 {
+                    // Pure synchronization edge: deliver after latency.
+                    if let Some(ps) = pstate.as_mut() {
+                        ps.note_drained(tid, now);
+                    }
+                    let lat =
+                        spec.route.len() as f64 * config.hop_latency + config.recv_overhead;
+                    q.push(now + lat, Event::Delivered(tid));
+                } else if fstate.as_ref().is_some_and(|fs| fs.is_blocked(spec)) {
+                    // Born stalled: wait for the fault to heal.
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.stalls.push((now, tid));
+                    }
+                    flows.stall_new(tid, spec.bytes as f64, now);
+                } else {
+                    flows.activate(tid, spec.bytes as f64);
+                    leveler.note_join(tid, &spec.route);
+                    rates_dirty = true;
+                }
+            }
+            // Note: a stale FlowCheck (epoch mismatch) must fall through
+            // to the recompute block below, not `continue`, or pending
+            // dirty rates would never be refreshed.
+            Event::FlowCheck { epoch: e } => {
+                if e == epoch {
+                    // Complete every flow that has drained.
+                    let mut completed_any = false;
+                    let mut i = 0;
+                    while i < flows.active.len() {
+                        if flows.active[i].remaining <= BYTE_EPS {
+                            let f = flows.complete_at(i);
+                            if let Some(ps) = pstate.as_mut() {
+                                ps.note_drained(f.tid, now);
+                            }
+                            let spec = &specs[f.tid as usize];
+                            leveler.note_leave(f.tid, &spec.route);
+                            let lat = spec.route.len() as f64 * config.hop_latency
+                                + config.recv_overhead;
+                            q.push(now + lat, Event::Delivered(f.tid));
+                            rates_dirty = true;
+                            completed_any = true;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if !completed_any && !flows.active.is_empty() {
+                        // Float noise left the nearest flow fractionally
+                        // short; re-arm the check at its true ETA.
+                        let next_done = flows
+                            .active
+                            .iter()
+                            .map(|f| now + f.remaining.max(0.0) / f.rate)
+                            .fold(f64::INFINITY, f64::min);
+                        q.push(next_done, Event::FlowCheck { epoch });
+                    }
+                }
+            }
+            Event::Delivered(tid) => {
+                delivery_time[tid as usize] = now;
+                delivered_count += 1;
+                for &child in &children[tid as usize] {
+                    remaining_deps[child as usize] -= 1;
+                    if remaining_deps[child as usize] == 0 {
+                        let cs = &specs[child as usize];
+                        let t = (now + cs.extra_delay).max(cs.start_at);
+                        q.push(t, Event::Ready(child));
+                    }
+                }
+            }
+            Event::Fault(fi) => {
+                let fs = fstate.as_mut().expect("fault event without a plan");
+                let kind = &fault_events[fi as usize].kind;
+                if let Some(ri) = fs.apply(kind, caps) {
+                    leveler.note_caps_changed(ri);
+                }
+                if let FaultKind::NodeUp { node } = *kind {
+                    let ni = node as usize;
+                    // Re-ready injections parked while down (in
+                    // arrival order: the push seq preserves it).
+                    for tid in std::mem::take(&mut fs.parked[ni]) {
+                        q.push(now, Event::Ready(tid));
+                    }
+                    // Resume an injection queue left idle when the
+                    // node failed mid-injection.
+                    if !cpu_busy[ni] {
+                        if let Some(next) = cpu_queue[ni].pop_front() {
+                            cpu_busy[ni] = true;
+                            q.push(now + config.send_overhead, Event::InjectionDone(next));
+                        }
+                    }
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.fault_events += 1;
+                }
+                // Start indices into the observer's stall/resume logs:
+                // everything the repartition below appends belongs to
+                // this fault epoch's re-level record.
+                let (s0, r0) = match obs.as_deref_mut() {
+                    Some(o) => (o.stalls.len(), o.resumes.len()),
+                    None => (0, 0),
+                };
+                // Re-partition running vs. stalled flows under the new
+                // health state, preserving arrival order (determinism).
+                let mut i = 0;
+                while i < flows.active.len() {
+                    if fs.is_blocked(&specs[flows.active[i].tid as usize]) {
+                        let tid = flows.stall_at(i, now);
+                        leveler.note_leave(tid, &specs[tid as usize].route);
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.stalls.push((now, tid));
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                let mut i = 0;
+                while i < flows.stalled.len() {
+                    if !fs.is_blocked(&specs[flows.stalled[i].tid as usize]) {
+                        let tid = flows.resume_at(i, now);
+                        leveler.note_join(tid, &specs[tid as usize].route);
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.resumes.push((now, tid));
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    let stalled = o.stalls[s0..].iter().map(|&(_, t)| t).collect();
+                    let resumed = o.resumes[r0..].iter().map(|&(_, t)| t).collect();
+                    o.fault_re_levels.push(FaultReLevel {
+                        time: now,
+                        stalled,
+                        resumed,
+                    });
+                }
+                rates_dirty = true;
+            }
+        }
+
+        // Re-level fair shares once all events at this instant are
+        // handled (cheap peek-based batching).
+        if rates_dirty && q.is_boundary(now) {
+            epoch += 1;
+            if let Some(o) = obs.as_deref_mut() {
+                // Sample the fluid state at the epoch boundary:
+                // remaining bytes of active flows, spread over their
+                // routes, kept sparse (sorted by resource id, zero
+                // cells omitted). Observer-only work — the report's
+                // floats are untouched.
+                o.waterfill_runs += 1;
+                for f in &flows.active {
+                    for r in &specs[f.tid as usize].route {
+                        heat_touched.push(r.0);
+                        heat_scratch[r.0 as usize] += f.remaining.max(0.0);
+                    }
+                }
+                heat_touched.sort_unstable();
+                heat_touched.dedup();
+                let bytes_in_flight = heat_touched
+                    .iter()
+                    .filter_map(|&r| {
+                        let v = heat_scratch[r as usize];
+                        heat_scratch[r as usize] = 0.0;
+                        (v > 0.0).then_some((r, v))
+                    })
+                    .collect();
+                heat_touched.clear();
+                o.heatmap.samples.push(HeatmapSample {
+                    time: now,
+                    epoch,
+                    bytes_in_flight,
+                });
+            }
+            if !flows.active.is_empty() {
+                // Stalled flows are excluded from the demand set, so no
+                // route ever crosses a zero-capacity (dead) resource.
+                let eff_caps: &[f64] = match fstate.as_ref() {
+                    Some(fs) => &fs.eff_caps,
+                    None => caps,
+                };
+                leveler.level(
+                    &mut flows.active,
+                    specs,
+                    eff_caps,
+                    config,
+                    &mut rates_scratch,
+                );
+                if let Some(ps) = pstate.as_mut() {
+                    for f in &flows.active {
+                        ps.note_binding(f.tid, now, leveler.binding_of(f.tid));
+                    }
+                }
+                let mut next_done = f64::INFINITY;
+                for f in &flows.active {
+                    let eta = now + (f.remaining.max(0.0) / f.rate);
+                    if eta < next_done {
+                        next_done = eta;
+                    }
+                }
+                q.push(next_done, Event::FlowCheck { epoch });
+            }
+            rates_dirty = false;
+        }
+
+        // With faults the queue may hold events past the last delivery
+        // (recoveries, stale checks); stop once everything arrived.
+        if have_faults && delivered_count == n {
+            break;
+        }
+    }
+
+    if !have_faults {
+        assert_eq!(
+            delivered_count, n,
+            "simulation ended with undelivered transfers (dependency deadlock?)"
+        );
+    }
+    if let Some(o) = obs {
+        o.waterfill_full_runs += leveler.full_runs;
+        o.waterfill_incremental_runs += leveler.incremental_runs;
+    }
+    let (stall_time, stalled_at_drain) = flows.close(now);
+    ComponentRun {
+        delivery_time,
+        flow_start_time,
+        stall_time,
+        stalled_at_drain,
+        end_time: now,
+        resource_bytes,
+        pstate,
     }
 }
 
@@ -1148,17 +1388,17 @@ mod tests {
 
     #[test]
     fn incremental_solver_skips_full_re_levels() {
-        // Many disjoint pairs: after the first epoch, each completion
-        // only dirties its own two-flow component.
-        let s = {
-            let pairs = 16u32;
-            Simulator::new(pairs * 2, vec![100.0; 16], test_config())
-        };
+        // One source node fanning out over 16 private links (a single
+        // contention component via the shared injection CPU): each join
+        // or completion dirties only the one flow on its own link, so
+        // after the first epoch the incremental solver never needs the
+        // full fallback.
+        let s = Simulator::new(17, vec![100.0; 16], test_config());
         let mut g = TransferGraph::new();
         for p in 0..16u32 {
             g.add(TransferSpec::new(
-                p * 2,
-                p * 2 + 1,
+                0,
+                p + 1,
                 1000 * (p as u64 + 1),
                 vec![ResourceId(p)],
             ));
@@ -1169,6 +1409,8 @@ mod tests {
         assert!(o.waterfill_incremental_runs > o.waterfill_full_runs,
             "incremental {} vs full {}", o.waterfill_incremental_runs, o.waterfill_full_runs);
         assert!(o.events_processed > 0);
+        // The shared source keeps this a single shard.
+        assert_eq!(o.shards, 1);
     }
 
     #[test]
@@ -1204,8 +1446,13 @@ mod tests {
         assert_eq!(obs.resumes, vec![(9.0, a.index() as u32)]);
         assert_eq!(obs.transfers_undelivered, 0);
         assert!(!obs.heatmap.is_empty());
-        // Link 0 carried both flows at the first epoch: 2000 bytes in flight.
-        assert_eq!(obs.heatmap.samples[0].bytes_in_flight[0], 2000.0);
+        // Link 0 carried both flows at the first epoch: 2000 bytes in flight
+        // (samples are sparse `(resource, bytes)` pairs).
+        assert_eq!(obs.heatmap.samples[0].bytes_in_flight[0], (0, 2000.0));
+        // Both flows share link 0, so the whole graph is one component.
+        assert_eq!(obs.shards, 1);
+        assert_eq!(obs.shard_merges.len(), 1);
+        assert_eq!(obs.shard_merges[0].transfers, 2);
         // Re-level counters partition the solver work.
         assert!(obs.waterfill_full_runs + obs.waterfill_incremental_runs > 0);
     }
@@ -1233,5 +1480,153 @@ mod tests {
         let g = TransferGraph::new();
         let plan = FaultPlan::new().fail_link(1.0, ResourceId(9));
         run_with_faults(&s, &g, &plan);
+    }
+
+    // ---- NaN ordering regression ----
+
+    #[test]
+    fn worst_offender_orders_nan_stall_deterministically() {
+        // A NaN stall time must surface as the worst offender (total_cmp
+        // puts NaN above every finite value). The old partial_cmp +
+        // unwrap_or(Equal) comparison collapsed NaN comparisons into
+        // ties, silently keeping whichever candidate the fold visited
+        // last — here index 2.
+        let rep = SimReport {
+            delivery_time: vec![f64::INFINITY; 3],
+            flow_start_time: vec![1.0; 3],
+            stall_time: vec![1.0, f64::NAN, 5.0],
+            status: vec![TransferStatus::Stalled; 3],
+            makespan: f64::INFINITY,
+            end_time: 9.0,
+            total_bytes: 3000,
+            resource_bytes: None,
+            profile: None,
+        };
+        let (idx, stall) = rep.worst_undelivered().unwrap();
+        assert_eq!(idx, 1);
+        assert!(stall.is_nan());
+        assert_eq!(rep.aggregate_throughput(), 0.0);
+    }
+
+    // ---- component sharding ----
+
+    /// Three disjoint two-flow components plus a fault on one of them:
+    /// exercises shard discovery, fault routing and merge.
+    fn sharded_fixture() -> (Simulator, TransferGraph, FaultPlan) {
+        let s = sim(12, vec![100.0; 6]);
+        let mut g = TransferGraph::new();
+        for c in 0..3u32 {
+            let base = c * 4;
+            let a = g.add(TransferSpec::new(
+                base,
+                base + 1,
+                1000 + c as u64 * 300,
+                vec![ResourceId(c * 2)],
+            ));
+            g.add(
+                TransferSpec::new(
+                    base + 2,
+                    base + 3,
+                    700,
+                    vec![ResourceId(c * 2), ResourceId(c * 2 + 1)],
+                )
+                .after(vec![a]),
+            );
+        }
+        let plan = FaultPlan::new()
+            .fail_link(6.0, ResourceId(2))
+            .restore_link(12.0, ResourceId(2));
+        (s, g, plan)
+    }
+
+    #[test]
+    fn disjoint_components_execute_as_shards() {
+        let (s, g, _) = sharded_fixture();
+        let mut o = SimObserver::new();
+        let rep = s.simulate(&g, SimOptions::new().observer(&mut o));
+        assert!(rep.all_delivered());
+        assert_eq!(o.shards, 3);
+        assert_eq!(o.shard_merges.len(), 3);
+        assert_eq!(
+            o.shard_merges.iter().map(|m| m.shard).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(o.shard_merges.iter().all(|m| m.transfers == 2));
+        let max_shard_end = o
+            .shard_merges
+            .iter()
+            .map(|m| m.end_time)
+            .fold(0.0, f64::max);
+        assert_eq!(max_shard_end.to_bits(), rep.end_time.to_bits());
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_at_every_thread_count() {
+        let (s, g, plan) = sharded_fixture();
+        let run_at = |threads: usize| {
+            let mut o = SimObserver::new();
+            let rep = s.simulate(
+                &g,
+                SimOptions::new()
+                    .faults(&plan)
+                    .observer(&mut o)
+                    .profiled()
+                    .sharded(threads),
+            );
+            (rep, o)
+        };
+        let (rep1, o1) = run_at(1);
+        for threads in [2, 8] {
+            let (rep, o) = run_at(threads);
+            assert_eq!(rep, rep1, "report diverged at {threads} threads");
+            assert_eq!(o, o1, "observer diverged at {threads} threads");
+        }
+        // The default (threads unset) takes the same inline path.
+        let mut o0 = SimObserver::new();
+        let rep0 = s.simulate(
+            &g,
+            SimOptions::new().faults(&plan).observer(&mut o0).profiled(),
+        );
+        assert_eq!(rep0, rep1);
+        assert_eq!(o0, o1);
+        assert_eq!(rep1.profile.as_ref().unwrap().shards, 3);
+    }
+
+    #[test]
+    fn sharded_faults_route_to_their_component() {
+        // The fault hits resource 2 — component 1 only. Component 1's
+        // flows stall over [6, 12]; the other components are untouched.
+        let (s, g, plan) = sharded_fixture();
+        let rep = run_with_faults(&s, &g, &plan);
+        assert!(rep.all_delivered());
+        assert!((rep.stall_time[2] - 6.0).abs() < 1e-9, "{}", rep.stall_time[2]);
+        for i in [0usize, 1, 4, 5] {
+            assert_eq!(rep.stall_time[i], 0.0, "transfer {i}");
+        }
+    }
+
+    #[test]
+    fn shard_stall_books_close_at_the_global_drain() {
+        // Two disjoint flows; one's link dies and never recovers, the
+        // other finishes much later. The stalled flow must accrue stall
+        // time up to the *global* drain, exactly as the old single
+        // event loop reported it.
+        let s = sim(4, vec![100.0, 100.0]);
+        let mut g = TransferGraph::new();
+        let a = g.add(TransferSpec::new(0, 1, 1000, vec![ResourceId(0)]));
+        let b = g.add(TransferSpec::new(2, 3, 40_000, vec![ResourceId(1)]));
+        let plan = FaultPlan::new().fail_link(6.0, ResourceId(0));
+        let rep = run_with_faults(&s, &g, &plan);
+        assert_eq!(rep.status_of(a), TransferStatus::Stalled);
+        assert_eq!(rep.status_of(b), TransferStatus::Delivered);
+        // b runs alone: injected at 1, 40_000 bytes at 100 B/s -> 401.
+        assert!((rep.delivered_at(b) - 401.0).abs() < 1e-6);
+        assert!(rep.end_time >= 401.0);
+        assert!(
+            (rep.stall_time_of(a) - (rep.end_time - 6.0)).abs() < 1e-9,
+            "stall {} vs end {}",
+            rep.stall_time_of(a),
+            rep.end_time
+        );
     }
 }

@@ -40,7 +40,7 @@ pub use config::SimConfig;
 pub use engine::{SimOptions, SimReport, Simulator, SolverMode, TransferStatus, DEFAULT_FULL_FRACTION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use graph::{ResourceId, TransferGraph, TransferId, TransferSpec};
-pub use obs::{FaultReLevel, HeatmapSample, LinkHeatmap, SimObserver};
+pub use obs::{FaultReLevel, HeatmapSample, LinkHeatmap, ShardMerge, SimObserver};
 pub use profile::{Binding, SimProfile, TransferTimeProfile};
 pub use stats::{
     active_fraction, activity_timeline, node_traffic, stragglers, try_active_fraction,

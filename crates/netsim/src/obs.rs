@@ -21,10 +21,13 @@ pub struct HeatmapSample {
     pub time: f64,
     /// The engine's rate-epoch counter after the recomputation.
     pub epoch: u64,
-    /// Per-resource bytes in flight: the sum of remaining bytes of every
-    /// *active* flow whose route crosses the resource. Stalled flows are
-    /// excluded, mirroring the waterfill's demand set.
-    pub bytes_in_flight: Vec<f64>,
+    /// Sparse per-resource bytes in flight, sorted by resource id with
+    /// zero cells omitted: the sum of remaining bytes of every *active*
+    /// flow whose route crosses the resource. Stalled flows are
+    /// excluded, mirroring the waterfill's demand set. (Sparse because
+    /// sparse patterns touch a tiny fraction of the links — a dense row
+    /// per epoch held ~1 GB of zeros at the 8k-node scale point.)
+    pub bytes_in_flight: Vec<(u32, f64)>,
 }
 
 /// Time series of per-resource bytes-in-flight, sampled at every
@@ -44,13 +47,14 @@ impl LinkHeatmap {
         self.samples.is_empty()
     }
 
-    /// CSV rows `epoch,time,resource,bytes_in_flight`, zero entries
-    /// skipped (sparse patterns touch a tiny fraction of the links; a
-    /// dense dump would be almost all zeros).
+    /// CSV rows `epoch,time,resource,bytes_in_flight`. The samples are
+    /// already sparse (zero cells never stored), so this is a plain
+    /// dump; the output is byte-identical to what the old dense samples
+    /// produced, since those skipped zero entries on the way out.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("epoch,time,resource,bytes_in_flight\n");
         for s in &self.samples {
-            for (r, &b) in s.bytes_in_flight.iter().enumerate() {
+            for &(r, b) in &s.bytes_in_flight {
                 if b > 0.0 {
                     out.push_str(&format!("{},{:?},{r},{b:?}\n", s.epoch, s.time));
                 }
@@ -61,10 +65,16 @@ impl LinkHeatmap {
 
     /// The peak bytes-in-flight seen on `resource` across all samples.
     pub fn peak(&self, resource: usize) -> f64 {
+        let rid = resource as u32;
         self.samples
             .iter()
-            .filter_map(|s| s.bytes_in_flight.get(resource))
-            .fold(0.0, |a, &b| a.max(b))
+            .filter_map(|s| {
+                s.bytes_in_flight
+                    .binary_search_by_key(&rid, |&(r, _)| r)
+                    .ok()
+                    .map(|i| s.bytes_in_flight[i].1)
+            })
+            .fold(0.0, f64::max)
     }
 }
 
@@ -80,6 +90,21 @@ pub struct FaultReLevel {
     pub stalled: Vec<u32>,
     /// Transfers resumed by this event's re-partition.
     pub resumed: Vec<u32>,
+}
+
+/// One contention shard folded into a run's merged result: which shard
+/// (canonical order: ascending minimum transfer id), how many transfers
+/// it carried, and when its own event queue drained. A single-component
+/// run records exactly one entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardMerge {
+    /// Canonical shard index within the run.
+    pub shard: u32,
+    /// Transfers executed by this shard.
+    pub transfers: u32,
+    /// Simulation clock when this shard's queue drained (the run's
+    /// `end_time` is the max over shards).
+    pub end_time: f64,
 }
 
 /// Collected engine events for one observed run. Counters accumulate, so
@@ -114,6 +139,12 @@ pub struct SimObserver {
     /// (stalled or never started) — the silent remainder that
     /// `aggregate_throughput` guards against.
     pub transfers_undelivered: u64,
+    /// Contention shards executed (one per connected component of the
+    /// transfer graph's shared-link/shared-source/dependency relation).
+    pub shards: u64,
+    /// One record per shard folded into a merged result, in canonical
+    /// shard order per run.
+    pub shard_merges: Vec<ShardMerge>,
     /// Per-resource bytes-in-flight at every waterfill epoch.
     pub heatmap: LinkHeatmap,
 }
@@ -138,6 +169,8 @@ impl SimObserver {
             ("fault_events".to_string(), self.fault_events as f64),
             ("heatmap_epochs".to_string(), self.heatmap.len() as f64),
             ("resumes".to_string(), self.resumes.len() as f64),
+            ("shard_merges".to_string(), self.shard_merges.len() as f64),
+            ("shards".to_string(), self.shards as f64),
             ("stalls".to_string(), self.stalls.len() as f64),
             (
                 "transfers_undelivered".to_string(),
@@ -158,6 +191,79 @@ impl SimObserver {
         }
         out
     }
+
+    /// Lengths of the event streams before a shard merge begins; the
+    /// region past the mark is what [`seal_merge`](Self::seal_merge)
+    /// re-orders. Regions from earlier runs threaded through the same
+    /// observer are never touched.
+    pub(crate) fn mark(&self) -> ObsMark {
+        ObsMark {
+            stalls: self.stalls.len(),
+            resumes: self.resumes.len(),
+            re_levels: self.fault_re_levels.len(),
+            samples: self.heatmap.samples.len(),
+        }
+    }
+
+    /// Fold one shard's observer into this one, remapping its local
+    /// transfer ids through `tids` and its local resource ids through
+    /// `resources` (both sorted ascending, so remapped streams keep
+    /// their relative order). Streams are appended in call (canonical
+    /// shard) order; [`seal_merge`](Self::seal_merge) restores global
+    /// time order afterwards. `transfers_undelivered`, `shards` and
+    /// `shard_merges` are owned by the merge layer, not summed here.
+    pub(crate) fn absorb_shard(&mut self, local: SimObserver, tids: &[u32], resources: &[u32]) {
+        self.waterfill_runs += local.waterfill_runs;
+        self.waterfill_full_runs += local.waterfill_full_runs;
+        self.waterfill_incremental_runs += local.waterfill_incremental_runs;
+        self.events_processed += local.events_processed;
+        self.fault_events += local.fault_events;
+        self.fault_re_levels
+            .extend(local.fault_re_levels.into_iter().map(|f| FaultReLevel {
+                time: f.time,
+                stalled: f.stalled.iter().map(|&t| tids[t as usize]).collect(),
+                resumed: f.resumed.iter().map(|&t| tids[t as usize]).collect(),
+            }));
+        self.stalls
+            .extend(local.stalls.into_iter().map(|(t, id)| (t, tids[id as usize])));
+        self.resumes
+            .extend(local.resumes.into_iter().map(|(t, id)| (t, tids[id as usize])));
+        self.heatmap
+            .samples
+            .extend(local.heatmap.samples.into_iter().map(|s| HeatmapSample {
+                time: s.time,
+                epoch: s.epoch,
+                bytes_in_flight: s
+                    .bytes_in_flight
+                    .into_iter()
+                    .map(|(r, v)| (resources[r as usize], v))
+                    .collect(),
+            }));
+    }
+
+    /// Restore global time order over the streams appended since `mark`
+    /// (stable sort: entries at equal times keep canonical shard
+    /// order), and renumber the new heatmap samples' epochs 1.. — the
+    /// same numbering a single event loop over the whole run produces.
+    pub(crate) fn seal_merge(&mut self, mark: ObsMark) {
+        self.stalls[mark.stalls..].sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.resumes[mark.resumes..].sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.fault_re_levels[mark.re_levels..].sort_by(|a, b| a.time.total_cmp(&b.time));
+        let region = &mut self.heatmap.samples[mark.samples..];
+        region.sort_by(|a, b| a.time.total_cmp(&b.time));
+        for (i, s) in region.iter_mut().enumerate() {
+            s.epoch = i as u64 + 1;
+        }
+    }
+}
+
+/// Stream lengths captured by [`SimObserver::mark`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ObsMark {
+    stalls: usize,
+    resumes: usize,
+    re_levels: usize,
+    samples: usize,
 }
 
 #[cfg(test)]
@@ -188,7 +294,7 @@ mod tests {
             samples: vec![HeatmapSample {
                 time: 1.0,
                 epoch: 1,
-                bytes_in_flight: vec![0.0, 500.0],
+                bytes_in_flight: vec![(1, 500.0)],
             }],
         };
         let csv = hm.to_csv();
@@ -196,5 +302,64 @@ mod tests {
         assert_eq!(hm.peak(1), 500.0);
         assert_eq!(hm.peak(0), 0.0);
         assert_eq!(hm.len(), 1);
+    }
+
+    #[test]
+    fn absorb_and_seal_restore_time_order_and_remap_ids() {
+        // Shard A (global tids [0, 2], resources [4, 7]) and shard B
+        // (global tids [1], resources [5]) merge in canonical order;
+        // sealing interleaves their streams back into time order and
+        // renumbers the heatmap epochs like one sequential loop.
+        let mut a = SimObserver::new();
+        a.events_processed = 3;
+        a.stalls.push((2.0, 1)); // local tid 1 -> global 2
+        a.heatmap.samples.push(HeatmapSample {
+            time: 1.0,
+            epoch: 1,
+            bytes_in_flight: vec![(0, 10.0), (1, 20.0)],
+        });
+        a.heatmap.samples.push(HeatmapSample {
+            time: 3.0,
+            epoch: 2,
+            bytes_in_flight: vec![(1, 5.0)],
+        });
+        let mut b = SimObserver::new();
+        b.events_processed = 2;
+        b.stalls.push((1.0, 0)); // local tid 0 -> global 1
+        b.heatmap.samples.push(HeatmapSample {
+            time: 2.0,
+            epoch: 1,
+            bytes_in_flight: vec![(0, 7.0)],
+        });
+
+        let mut merged = SimObserver::new();
+        let mark = merged.mark();
+        merged.absorb_shard(a, &[0, 2], &[4, 7]);
+        merged.absorb_shard(b, &[1], &[5]);
+        merged.seal_merge(mark);
+
+        assert_eq!(merged.events_processed, 5);
+        assert_eq!(merged.stalls, vec![(1.0, 1), (2.0, 2)]);
+        let rows: Vec<(u64, f64)> = merged
+            .heatmap
+            .samples
+            .iter()
+            .map(|s| (s.epoch, s.time))
+            .collect();
+        assert_eq!(rows, vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let flights: Vec<&[(u32, f64)]> = merged
+            .heatmap
+            .samples
+            .iter()
+            .map(|s| s.bytes_in_flight.as_slice())
+            .collect();
+        assert_eq!(
+            flights,
+            vec![
+                &[(4, 10.0), (7, 20.0)][..],
+                &[(5, 7.0)][..],
+                &[(7, 5.0)][..],
+            ]
+        );
     }
 }

@@ -125,6 +125,10 @@ pub struct SimProfile {
     /// Simulation clock when the event queue drained (mirrors
     /// `SimReport::end_time`).
     pub end_time: f64,
+    /// Contention shards the run executed (1 when the whole graph was a
+    /// single component). Profiles are bit-identical at every thread
+    /// count, so this records graph structure, not scheduling.
+    pub shards: u32,
 }
 
 impl SimProfile {
@@ -211,6 +215,31 @@ impl ProfileState {
         }
     }
 
+    /// Fold one shard's accumulators into this (global) one, scattering
+    /// its local transfer slots through `tids` and remapping binding
+    /// codes through `resources` ([`CAP_BINDING`] passes through). Both
+    /// maps are sorted ascending, so per-transfer blame and timeline
+    /// orderings survive the remap unchanged.
+    pub fn absorb(&mut self, other: ProfileState, tids: &[u32], resources: &[u32]) {
+        let code = |c: u32| {
+            if c == CAP_BINDING {
+                CAP_BINDING
+            } else {
+                resources[c as usize]
+            }
+        };
+        for (li, &t) in tids.iter().enumerate() {
+            let gi = t as usize;
+            self.ready[gi] = other.ready[li];
+            self.drained[gi] = other.drained[li];
+            self.blame[gi] = other.blame[li].iter().map(|&(c, s)| (code(c), s)).collect();
+            self.timeline[gi] = other.timeline[li]
+                .iter()
+                .map(|&(time, c)| (time, code(c)))
+                .collect();
+        }
+    }
+
     /// Fold the accumulators into a [`SimProfile`].
     pub fn finish(
         self,
@@ -218,6 +247,7 @@ impl ProfileState {
         flow_start_time: &[f64],
         stall_time: &[f64],
         end_time: f64,
+        shards: u32,
     ) -> SimProfile {
         let n = self.ready.len();
         let mut transfers = Vec::with_capacity(n);
@@ -263,6 +293,7 @@ impl ProfileState {
         SimProfile {
             transfers,
             end_time,
+            shards,
         }
     }
 }
@@ -296,6 +327,7 @@ mod tests {
         let p = SimProfile {
             transfers: vec![tp(&[(0, 2.0), (1, 1.0)], 0.0), tp(&[(1, 3.0)], 0.0)],
             end_time: 10.0,
+            shards: 1,
         };
         assert_eq!(
             p.link_blame(),
@@ -325,7 +357,7 @@ mod tests {
         ps.note_binding(0, 3.0, 2); // unchanged: no entry
         ps.note_binding(0, 4.0, CAP_BINDING);
         ps.note_drained(0, 6.0);
-        let prof = ps.finish(&[6.5], &[2.0], &[0.0], 6.5);
+        let prof = ps.finish(&[6.5], &[2.0], &[0.0], 6.5, 1);
         let t = &prof.transfers[0];
         assert_eq!(t.ready_time, 1.0);
         assert_eq!(t.queued_before_start, 1.0);
